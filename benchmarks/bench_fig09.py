@@ -1,0 +1,54 @@
+"""Figure 9: CBO.X latency vs writeback size and thread count (§7.2).
+
+Paper's claims: one line costs ~100 cycles; 32 KiB ~7460 cycles; eight
+threads improve latency ~7.2x; latency scales with size.
+"""
+
+import pytest
+
+from repro.bench.micro import run_fig09, rows_by_series
+from repro.workloads.sweep import writeback_sweep
+
+KIB = 1024
+
+
+@pytest.mark.figure(9)
+def test_fig09_series(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig09(sizes=[64, KIB, 8 * KIB], threads=[1, 4], repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    series = rows_by_series(rows)
+    one = {r.size_bytes: r.median_cycles for r in series["1-thread flush"]}
+    four = {r.size_bytes: r.median_cycles for r in series["4-thread flush"]}
+    assert_shape(70 <= one[64] <= 140, "single line should cost ~100 cycles")
+    assert_shape(one[8 * KIB] > one[KIB] > one[64], "latency grows with size")
+    assert_shape(
+        four[8 * KIB] < one[8 * KIB] / 2.5,
+        "4 threads give near-linear improvement",
+    )
+
+
+@pytest.mark.figure(9)
+def test_fig09_full_cache_magnitude(benchmark, assert_shape):
+    result = benchmark.pedantic(
+        lambda: writeback_sweep(32 * KIB, threads=1, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert_shape(
+        3500 <= result.median <= 12_000,
+        "32 KiB flush should land in the thousands of cycles (paper: 7460)",
+    )
+
+
+@pytest.mark.figure(9)
+def test_fig09_eight_thread_speedup(benchmark, assert_shape):
+    def run():
+        one = writeback_sweep(32 * KIB, threads=1, repeats=1).median
+        eight = writeback_sweep(32 * KIB, threads=8, repeats=1).median
+        return one / eight
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_shape(5.0 <= speedup <= 9.0, f"8-thread speedup ~7.2x, got {speedup:.1f}x")

@@ -1,0 +1,52 @@
+"""Figure 11: single-thread writeback latency across architectures (§7.3).
+
+Paper's claims: Intel clflush degrades dramatically at/above 4 KiB;
+clflushopt is usually the best x86 flush; AMD's clflush and clflushopt
+are nearly identical; SonicBOOM CBO.X is competitive; Graviton3 grows
+sub-linearly and wins beyond ~4 KiB.
+"""
+
+import pytest
+
+from repro.bench.micro import run_fig11, rows_by_series
+
+KIB = 1024
+
+
+@pytest.mark.figure(11)
+def test_fig11_comparative_single_thread(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig11(quick=False, repeats=1), rounds=1, iterations=1
+    )
+    series = rows_by_series(rows)
+
+    def curve(name):
+        return {r.size_bytes: r.median_cycles for r in series[name]}
+
+    boom = curve("SonicBOOM cbo.flush")
+    intel_clflush = curve("intel clflush")
+    intel_opt = curve("intel clflushopt")
+    amd_clflush = curve("amd clflush")
+    amd_opt = curve("amd clflushopt")
+    graviton = curve("graviton3 dccivac")
+
+    assert_shape(
+        intel_clflush[32 * KIB] > 10 * intel_opt[32 * KIB],
+        "Intel clflush blows up at large sizes",
+    )
+    assert_shape(
+        abs(amd_clflush[4 * KIB] - amd_opt[4 * KIB]) < 0.05 * amd_opt[4 * KIB],
+        "AMD clflush == clflushopt",
+    )
+    assert_shape(
+        boom[32 * KIB] < intel_clflush[32 * KIB],
+        "SonicBOOM beats Intel clflush at large sizes",
+    )
+    assert_shape(
+        graviton[32 * KIB] < intel_clflush[32 * KIB],
+        "Graviton's sub-linear curve wins over Intel clflush at 32 KiB",
+    )
+    assert_shape(
+        boom[64] < 2 * min(intel_opt[64], amd_opt[64], graviton[64]),
+        "single-line CBO.X is competitive with commercial flushes",
+    )

@@ -1,0 +1,48 @@
+"""Figure 12: eight-thread writeback latency across architectures (§7.3).
+
+Paper's claims: with 8 threads the Intel clflush gap only appears above
+16 KiB; the SonicBOOM outperforms the other platforms across nearly all
+sizes.
+"""
+
+import pytest
+
+from repro.bench.micro import run_fig12, rows_by_series
+
+KIB = 1024
+
+
+@pytest.mark.figure(12)
+def test_fig12_comparative_eight_threads(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig12(quick=False, repeats=1), rounds=1, iterations=1
+    )
+    series = rows_by_series(rows)
+
+    def curve(name):
+        return {r.size_bytes: r.median_cycles for r in series[name]}
+
+    boom = curve("SonicBOOM cbo.flush")
+    intel_clflush = curve("intel clflush")
+    intel_opt = curve("intel clflushopt")
+
+    assert_shape(
+        intel_clflush[4 * KIB] < 6 * intel_opt[4 * KIB],
+        "at 8 threads the clflush gap is muted at small sizes",
+    )
+    assert_shape(
+        intel_clflush[32 * KIB] > 4 * intel_opt[32 * KIB],
+        "Intel clflush still degrades at 32 KiB with 8 threads",
+    )
+    for size in (4 * KIB, 16 * KIB, 32 * KIB):
+        others = [
+            c[size]
+            for name, s in series.items()
+            if not name.startswith("SonicBOOM")
+            for c in [{r.size_bytes: r.median_cycles for r in s}]
+            if size in c
+        ]
+        assert_shape(
+            boom[size] <= min(others) * 1.5,
+            f"SonicBOOM competitive at {size} bytes with 8 threads",
+        )

@@ -1,0 +1,101 @@
+"""Figure 14: persistent data-structure throughput, 5% updates (§7.4).
+
+Paper's claims: Skip It almost always outperforms both FliT variants;
+link-and-persist can beat Skip It on the automatic linked list and hash
+table; plain is far below every filter under the automatic policy; the
+non-persistent baseline is generally the upper envelope; BST x L&P is
+excluded.
+"""
+
+import pytest
+
+from repro.bench.structures import run_fig14
+
+
+@pytest.mark.figure(14)
+def test_fig14_hashtable_automatic(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig14(
+            quick=True,
+            structures=["hashtable"],
+            policies=["automatic"],
+            duration=80_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tp = {r.optimizer: r.throughput_mops for r in rows if r.policy == "automatic"}
+    assert_shape(tp["skipit"] > tp["plain"] * 2, "Skip It far above plain")
+    assert_shape(
+        tp["skipit"] >= tp["flit-hashtable"] * 0.95,
+        "Skip It at least matches FliT hash table",
+    )
+    assert_shape(
+        tp["link-and-persist"] >= tp["skipit"] * 0.8,
+        "L&P is competitive on the hash table (paper: it can win)",
+    )
+
+
+@pytest.mark.figure(14)
+def test_fig14_list_automatic(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig14(
+            quick=True,
+            structures=["list"],
+            policies=["automatic"],
+            duration=60_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tp = {r.optimizer: r.throughput_mops for r in rows if r.policy == "automatic"}
+    baseline = next(r for r in rows if r.policy == "none").throughput_mops
+    assert_shape(tp["plain"] < tp["skipit"] / 3, "plain automatic list is dire")
+    assert_shape(
+        tp["link-and-persist"] >= tp["skipit"],
+        "L&P wins the automatic linked list (paper observation)",
+    )
+    assert_shape(
+        baseline >= tp["skipit"],
+        "non-persistent baseline bounds persistent throughput here",
+    )
+
+
+@pytest.mark.figure(14)
+def test_fig14_bst_excludes_lnp(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig14(
+            quick=True,
+            structures=["bst"],
+            policies=["manual"],
+            optimizers=["plain", "link-and-persist", "skipit"],
+            duration=40_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lnp = next(r for r in rows if r.optimizer == "link-and-persist")
+    assert_shape(lnp.throughput_mops is None, "BST x link-and-persist excluded")
+    skipit = next(r for r in rows if r.optimizer == "skipit")
+    assert_shape(skipit.throughput_mops > 0, "Skip It works on the BST")
+
+
+@pytest.mark.figure(14)
+def test_fig14_policy_ordering(benchmark, assert_shape):
+    """Manual persistence costs least, automatic most (for one filter)."""
+    rows = benchmark.pedantic(
+        lambda: run_fig14(
+            quick=True,
+            structures=["skiplist"],
+            policies=["automatic", "nvtraverse", "manual"],
+            optimizers=["skipit"],
+            duration=60_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tp = {r.policy: r.throughput_mops for r in rows if r.policy != "none"}
+    assert_shape(
+        tp["manual"] >= tp["nvtraverse"] >= tp["automatic"] * 0.9,
+        f"policy cost ordering manual >= nvtraverse >= automatic: {tp}",
+    )

@@ -1,0 +1,68 @@
+"""Figure 15: throughput vs update percentage (§7.4).
+
+Paper's claims: throughput falls as the update fraction rises (updates
+add mandatory writebacks); the filters keep their relative order across
+the sweep.
+"""
+
+import pytest
+
+from repro.bench.structures import run_fig15
+
+
+@pytest.mark.figure(15)
+def test_fig15_update_sweep_hashtable(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig15(
+            quick=True,
+            structures=["hashtable"],
+            optimizers=["plain", "skipit"],
+            update_percents=[0, 20, 100],
+            duration=60_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    skipit = {
+        r.update_percent: r.throughput_mops for r in rows if r.optimizer == "skipit"
+    }
+    plain = {
+        r.update_percent: r.throughput_mops for r in rows if r.optimizer == "plain"
+    }
+    assert_shape(
+        skipit[0] > skipit[100], "throughput falls with update percentage"
+    )
+    for update in (0, 20, 100):
+        assert_shape(
+            skipit[update] > plain[update],
+            f"Skip It above plain at {update}% updates",
+        )
+
+
+@pytest.mark.figure(15)
+def test_fig15_order_stable_across_sweep(benchmark, assert_shape):
+    """Filters keep their relative order across the whole update sweep,
+    and every series declines as updates (mandatory writebacks) grow."""
+    rows = benchmark.pedantic(
+        lambda: run_fig15(
+            quick=True,
+            structures=["skiplist"],
+            optimizers=["plain", "skipit"],
+            update_percents=[0, 20, 100],
+            duration=60_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tp = {
+        (r.optimizer, r.update_percent): r.throughput_mops for r in rows
+    }
+    for update in (0, 20, 100):
+        assert_shape(
+            tp[("skipit", update)] > tp[("plain", update)],
+            f"skipit above plain at {update}% updates",
+        )
+    assert_shape(
+        tp[("skipit", 0)] >= tp[("skipit", 100)],
+        "throughput declines as the update fraction grows",
+    )

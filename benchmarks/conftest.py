@@ -1,0 +1,23 @@
+"""Shared configuration for the figure benchmarks.
+
+Each ``bench_figNN.py`` wraps the corresponding harness runner from
+:mod:`repro.bench` with reduced parameters (so ``pytest benchmarks/
+--benchmark-only`` completes in minutes) and asserts the shape properties
+the paper's figure reports.  Full-size figures: ``python -m repro.bench``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(n): benchmark reproduces figure n")
+
+
+@pytest.fixture
+def assert_shape():
+    """Readable helper for shape assertions inside benchmarks."""
+
+    def check(condition, message):
+        assert condition, f"figure shape violated: {message}"
+
+    return check

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Head-to-head: the five redundant-writeback filters of §7.4.
+
+Runs the persistent skiplist under the automatic persistence policy with
+each filter — plain, FliT adjacent, FliT hash table, link-and-persist,
+and Skip It — and prints a small Figure-14-style table.
+
+Run:  python examples/compare_filters.py
+"""
+
+from repro.bench.format import format_table
+from repro.persist.flushopt import OPTIMIZER_NAMES
+from repro.workloads.datastructs import DataStructureBenchmark
+
+
+def main() -> None:
+    rows = []
+    for optimizer in OPTIMIZER_NAMES:
+        bench = DataStructureBenchmark(
+            structure="skiplist",
+            policy="automatic",
+            optimizer=optimizer,
+            update_percent=5,
+            threads=2,
+            key_range=2048,
+        )
+        result = bench.run(duration=120_000)
+        filtered = result.flush_requests - result.cbo_issued
+        rows.append(
+            (
+                optimizer,
+                f"{result.throughput_mops:.3f}",
+                result.flush_requests,
+                result.cbo_issued,
+                filtered,
+            )
+        )
+    print("skiplist, automatic persistence, 5% updates, 2 threads:\n")
+    print(
+        format_table(
+            ["filter", "Mops/s", "flush requests", "reached hardware", "filtered"],
+            rows,
+        )
+    )
+    print(
+        "\nSkip It filters in hardware metadata: no counters to store, no "
+        "marks to mask,\nno auxiliary tables contending for the small caches."
+    )
+
+
+if __name__ == "__main__":
+    main()

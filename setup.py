@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-build-isolation`) on
+offline machines whose setuptools cannot build PEP 517 editable wheels.
+"""
+from setuptools import setup
+
+setup()

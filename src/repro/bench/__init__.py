@@ -1,0 +1,40 @@
+"""Figure-regeneration harness.
+
+One ``run_figNN`` function per evaluation figure, returning structured
+rows, plus a CLI (``python -m repro.bench --fig 9`` or the installed
+``skipit-bench`` script) that prints paper-style series.  The pytest
+benchmarks under ``benchmarks/`` call the same runners with reduced
+parameters and assert the shape properties the paper reports.
+"""
+
+from repro.bench.micro import (
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+)
+from repro.bench.structures import run_fig14, run_fig15, run_fig16
+
+FIGURES = {
+    9: run_fig09,
+    10: run_fig10,
+    11: run_fig11,
+    12: run_fig12,
+    13: run_fig13,
+    14: run_fig14,
+    15: run_fig15,
+    16: run_fig16,
+}
+
+__all__ = [
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "FIGURES",
+]

@@ -1,0 +1,113 @@
+"""Benchmark CLI: ``python -m repro.bench --fig N`` / ``skipit-bench``.
+
+Prints the rows/series of the requested evaluation figure in a
+paper-style text table.  ``--quick`` shrinks sweeps for a fast sanity
+pass; the defaults regenerate the full-size figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.bench import FIGURES
+from repro.bench.format import format_table, human_size
+from repro.bench.micro import MicroRow
+from repro.bench.structures import ThroughputRow
+
+
+def _print_micro(rows: List[MicroRow]) -> None:
+    print(
+        format_table(
+            ["series", "size", "threads", "median cycles", "sigma"],
+            [
+                (
+                    r.series,
+                    human_size(r.size_bytes),
+                    r.threads,
+                    r.median_cycles,
+                    r.stdev_cycles,
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def _print_throughput(rows: List[ThroughputRow]) -> None:
+    print(
+        format_table(
+            [
+                "structure",
+                "policy",
+                "optimizer",
+                "upd%",
+                "Mops/s",
+                "flush reqs",
+                "cbo issued",
+                "cbo skipped",
+            ],
+            [
+                (
+                    r.structure,
+                    r.policy,
+                    r.optimizer,
+                    r.update_percent,
+                    r.throughput_mops,
+                    r.flush_requests,
+                    r.cbo_issued,
+                    r.cbo_skipped,
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="skipit-bench",
+        description="Regenerate the evaluation figures of 'Skip It: Take "
+        "Control of Your Cache!' (ASPLOS 2024).",
+    )
+    parser.add_argument(
+        "--fig",
+        type=int,
+        action="append",
+        choices=sorted(FIGURES),
+        help="figure number to regenerate (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps for a fast pass"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a Markdown report of the selected figures to PATH",
+    )
+    args = parser.parse_args(argv)
+    figures = args.fig or sorted(FIGURES)
+    if args.report:
+        from repro.bench.report import build_report
+
+        text = build_report(figures, quick=args.quick)
+        with open(args.report, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.report}")
+        return 0
+    for fig in figures:
+        started = time.time()
+        print(f"\n=== Figure {fig} ===")
+        rows = FIGURES[fig](quick=args.quick)
+        if rows and isinstance(rows[0], MicroRow):
+            _print_micro(rows)
+        else:
+            _print_throughput(rows)
+        print(f"[figure {fig}: {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

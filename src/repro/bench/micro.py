@@ -1,0 +1,177 @@
+"""Cycle-level microbenchmark figures (9-13).
+
+Every runner accepts ``quick=True`` (used by tests and pytest-benchmark)
+to shrink sweep sizes while preserving the series shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.redundant import redundant_writeback_latency
+from repro.workloads.reread import clean_vs_flush_reread
+from repro.workloads.sweep import writeback_sweep
+from repro.xarch.models import platform_models
+
+KIB = 1024
+
+FULL_SIZES = [64, 256, KIB, 4 * KIB, 16 * KIB, 32 * KIB]
+QUICK_SIZES = [64, 512, 4 * KIB]
+FULL_THREADS = [1, 2, 4, 8]
+QUICK_THREADS = [1, 4]
+
+
+@dataclass
+class MicroRow:
+    """One (size, threads, series) latency point."""
+
+    figure: int
+    series: str
+    size_bytes: int
+    threads: int
+    median_cycles: float
+    stdev_cycles: float = 0.0
+
+
+def run_fig09(
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    threads: Optional[Sequence[int]] = None,
+    repeats: int = 3,
+) -> List[MicroRow]:
+    """Figure 9: CBO.X latency vs writeback size across thread counts."""
+    sizes = list(sizes or (QUICK_SIZES if quick else FULL_SIZES))
+    threads = list(threads or (QUICK_THREADS if quick else FULL_THREADS))
+    rows: List[MicroRow] = []
+    for t in threads:
+        for size in sizes:
+            if size < t * 64:
+                continue
+            res = writeback_sweep(size, threads=t, clean=False, repeats=repeats)
+            rows.append(
+                MicroRow(
+                    figure=9,
+                    series=f"{t}-thread flush",
+                    size_bytes=size,
+                    threads=t,
+                    median_cycles=res.median,
+                    stdev_cycles=res.stdev,
+                )
+            )
+    return rows
+
+
+def run_fig10(
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    threads: Optional[Sequence[int]] = None,
+    repeats: int = 2,
+) -> List[MicroRow]:
+    """Figure 10: write / 10x CBO.X / fence / re-read, clean vs flush."""
+    sizes = list(sizes or ([64, 512] if quick else [64, 512, 4 * KIB]))
+    threads = list(threads or ([1] if quick else [1, 8]))
+    rows: List[MicroRow] = []
+    for t in threads:
+        for clean in (True, False):
+            for size in sizes:
+                if size < t * 64:
+                    continue
+                res = clean_vs_flush_reread(
+                    size, threads=t, clean=clean, repeats=repeats
+                )
+                rows.append(
+                    MicroRow(
+                        figure=10,
+                        series=f"{t}-thread {'clean' if clean else 'flush'}",
+                        size_bytes=size,
+                        threads=t,
+                        median_cycles=res.median,
+                        stdev_cycles=res.stdev,
+                    )
+                )
+    return rows
+
+
+def _comparative(figure: int, threads: int, quick: bool, repeats: int) -> List[MicroRow]:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rows: List[MicroRow] = []
+    for size in sizes:
+        if size < threads * 64:
+            continue
+        for clean in (False, True):
+            res = writeback_sweep(size, threads=threads, clean=clean, repeats=repeats)
+            op = "cbo.clean" if clean else "cbo.flush"
+            rows.append(
+                MicroRow(
+                    figure=figure,
+                    series=f"SonicBOOM {op}",
+                    size_bytes=size,
+                    threads=threads,
+                    median_cycles=res.median,
+                    stdev_cycles=res.stdev,
+                )
+            )
+    for platform, model in platform_models().items():
+        for instruction in model.variants():
+            for size in sizes:
+                if size < threads * 64:
+                    continue
+                rows.append(
+                    MicroRow(
+                        figure=figure,
+                        series=f"{platform} {instruction}",
+                        size_bytes=size,
+                        threads=threads,
+                        median_cycles=model.latency(instruction, size, threads),
+                    )
+                )
+    return rows
+
+
+def run_fig11(quick: bool = False, repeats: int = 2) -> List[MicroRow]:
+    """Figure 11: single-thread writeback latency across architectures."""
+    return _comparative(figure=11, threads=1, quick=quick, repeats=repeats)
+
+
+def run_fig12(quick: bool = False, repeats: int = 2) -> List[MicroRow]:
+    """Figure 12: eight-thread writeback latency across architectures."""
+    return _comparative(figure=12, threads=2 if quick else 8, quick=quick, repeats=repeats)
+
+
+def run_fig13(
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    threads: Optional[Sequence[int]] = None,
+    repeats: int = 2,
+) -> List[MicroRow]:
+    """Figure 13: 1 + 10 redundant CBO.X per line, naive vs Skip It."""
+    sizes = list(sizes or ([64, 512] if quick else [64, 512, 4 * KIB, 16 * KIB]))
+    threads = list(threads or ([1] if quick else [1, 8]))
+    rows: List[MicroRow] = []
+    for t in threads:
+        for skip_it in (False, True):
+            for size in sizes:
+                if size < t * 64:
+                    continue
+                res = redundant_writeback_latency(
+                    size, threads=t, skip_it=skip_it, repeats=repeats
+                )
+                rows.append(
+                    MicroRow(
+                        figure=13,
+                        series=f"{t}-thread {'Skip It' if skip_it else 'naive'}",
+                        size_bytes=size,
+                        threads=t,
+                        median_cycles=res.median,
+                        stdev_cycles=res.stdev,
+                    )
+                )
+    return rows
+
+
+def rows_by_series(rows: Sequence[MicroRow]) -> Dict[str, List[MicroRow]]:
+    series: Dict[str, List[MicroRow]] = {}
+    for row in rows:
+        series.setdefault(row.series, []).append(row)
+    return series

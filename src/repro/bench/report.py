@@ -1,0 +1,100 @@
+"""Markdown report generation: figure runs -> EXPERIMENTS-style tables.
+
+``build_report`` executes any subset of the figure runners and renders
+their rows as a Markdown document; the CLI exposes it through
+``python -m repro.bench --report out.md``.  Handy for re-validating the
+numbers EXPERIMENTS.md quotes after changing model parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.bench import FIGURES
+from repro.bench.format import human_size
+from repro.bench.micro import MicroRow
+from repro.bench.structures import ThroughputRow
+
+_FIGURE_TITLES = {
+    9: "CBO.X latency vs writeback size and threads (§7.2)",
+    10: "write / 10x CBO.X / fence / re-read (§7.2)",
+    11: "single-thread writeback latency across architectures (§7.3)",
+    12: "eight-thread writeback latency across architectures (§7.3)",
+    13: "redundant writebacks: naive vs Skip It (§7.4)",
+    14: "persistent-set throughput, 5% updates (§7.4)",
+    15: "throughput vs update percentage (§7.4)",
+    16: "BST vs FliT hash-table size (§7.4)",
+}
+
+
+def _markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if cell is None:
+                cells.append("n/a")
+            elif isinstance(cell, float):
+                cells.append(f"{cell:.3f}")
+            else:
+                cells.append(str(cell))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _render_micro(rows: List[MicroRow]) -> str:
+    return _markdown_table(
+        ["series", "size", "threads", "median cycles", "sigma"],
+        [
+            (
+                r.series,
+                human_size(r.size_bytes),
+                r.threads,
+                r.median_cycles,
+                r.stdev_cycles,
+            )
+            for r in rows
+        ],
+    )
+
+
+def _render_throughput(rows: List[ThroughputRow]) -> str:
+    return _markdown_table(
+        ["structure", "policy", "optimizer", "upd%", "Mops/s", "cbo issued", "cbo skipped"],
+        [
+            (
+                r.structure,
+                r.policy,
+                r.optimizer,
+                r.update_percent,
+                r.throughput_mops,
+                r.cbo_issued,
+                r.cbo_skipped,
+            )
+            for r in rows
+        ],
+    )
+
+
+def build_report(
+    figures: Optional[Sequence[int]] = None, quick: bool = True
+) -> str:
+    """Run the requested figures and return a Markdown report."""
+    figures = sorted(figures or FIGURES)
+    sections = [
+        "# Measured figure reproductions",
+        "",
+        f"Mode: {'quick (reduced sweeps)' if quick else 'full size'}.",
+    ]
+    for fig in figures:
+        rows = FIGURES[fig](quick=quick)
+        title = _FIGURE_TITLES.get(fig, "")
+        sections.append(f"\n## Figure {fig} — {title}\n")
+        if rows and isinstance(rows[0], MicroRow):
+            sections.append(_render_micro(rows))
+        else:
+            sections.append(_render_throughput(rows))
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,178 @@
+"""Data-structure throughput figures (14-16), on the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.persist.flushopt import OPTIMIZER_NAMES
+from repro.persist.policies import POLICY_NAMES
+from repro.persist.structures import STRUCTURES
+from repro.workloads.datastructs import DataStructureBenchmark, DataStructureResult
+
+ALL_STRUCTURES = tuple(STRUCTURES)
+ALL_POLICIES = ("automatic", "nvtraverse", "manual")
+
+
+@dataclass
+class ThroughputRow:
+    """One cell of a Figure 14/15/16 grid."""
+
+    figure: int
+    structure: str
+    policy: str
+    optimizer: str
+    update_percent: int
+    throughput_mops: Optional[float]  # None when the combo is inapplicable
+    flush_requests: int = 0
+    cbo_issued: int = 0
+    cbo_skipped: int = 0
+
+
+def _run_cell(
+    figure: int,
+    structure: str,
+    policy: str,
+    optimizer: str,
+    update_percent: int,
+    threads: int,
+    duration: int,
+    key_range: Optional[int] = None,
+    flit_table_entries: int = 1024,
+) -> ThroughputRow:
+    bench = DataStructureBenchmark(
+        structure=structure,
+        policy=policy,
+        optimizer=optimizer,
+        update_percent=update_percent,
+        threads=threads,
+        key_range=key_range,
+        flit_table_entries=flit_table_entries,
+    )
+    if not bench.applicable:
+        return ThroughputRow(
+            figure, structure, policy, optimizer, update_percent, None
+        )
+    result = bench.run(duration=duration)
+    return ThroughputRow(
+        figure=figure,
+        structure=structure,
+        policy=policy,
+        optimizer=optimizer,
+        update_percent=update_percent,
+        throughput_mops=result.throughput_mops,
+        flush_requests=result.flush_requests,
+        cbo_issued=result.cbo_issued,
+        cbo_skipped=result.cbo_skipped,
+    )
+
+
+def run_fig14(
+    quick: bool = False,
+    structures: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    optimizers: Optional[Sequence[str]] = None,
+    update_percent: int = 5,
+    threads: int = 2,
+    duration: Optional[int] = None,
+) -> List[ThroughputRow]:
+    """Figure 14: throughput grid at 5% updates, 2 threads.
+
+    Also emits the non-persistent baseline (policy='none') the paper draws
+    as the dark dotted line.
+    """
+    structures = list(structures or (("list", "hashtable") if quick else ALL_STRUCTURES))
+    policies = list(policies or (("automatic",) if quick else ALL_POLICIES))
+    optimizers = list(optimizers or OPTIMIZER_NAMES)
+    duration = duration or (60_000 if quick else 300_000)
+    rows: List[ThroughputRow] = []
+    for structure in structures:
+        rows.append(
+            _run_cell(
+                14, structure, "none", "plain", update_percent, threads, duration
+            )
+        )
+        for policy in policies:
+            for optimizer in optimizers:
+                rows.append(
+                    _run_cell(
+                        14,
+                        structure,
+                        policy,
+                        optimizer,
+                        update_percent,
+                        threads,
+                        duration,
+                    )
+                )
+    return rows
+
+
+def run_fig15(
+    quick: bool = False,
+    structures: Optional[Sequence[str]] = None,
+    optimizers: Optional[Sequence[str]] = None,
+    update_percents: Optional[Sequence[int]] = None,
+    policy: str = "automatic",
+    threads: int = 2,
+    duration: Optional[int] = None,
+) -> List[ThroughputRow]:
+    """Figure 15: throughput vs update percentage (automatic persistence)."""
+    structures = list(structures or (("list",) if quick else ALL_STRUCTURES))
+    optimizers = list(optimizers or OPTIMIZER_NAMES)
+    update_percents = list(update_percents or ((0, 50) if quick else (0, 5, 20, 50, 100)))
+    duration = duration or (60_000 if quick else 250_000)
+    rows: List[ThroughputRow] = []
+    for structure in structures:
+        for optimizer in optimizers:
+            for update in update_percents:
+                rows.append(
+                    _run_cell(15, structure, policy, optimizer, update, threads, duration)
+                )
+    return rows
+
+
+def run_fig16(
+    quick: bool = False,
+    table_sizes: Optional[Sequence[int]] = None,
+    policy: str = "automatic",
+    update_percent: int = 5,
+    threads: int = 2,
+    duration: Optional[int] = None,
+    key_range: int = 10_000,
+) -> List[ThroughputRow]:
+    """Figure 16: BST (10k keys) sensitivity to the FliT hash-table size."""
+    table_sizes = list(
+        table_sizes or ((256, 4096) if quick else (256, 1024, 4096, 16_384, 65_536))
+    )
+    duration = duration or (60_000 if quick else 250_000)
+    rows: List[ThroughputRow] = []
+    for entries in table_sizes:
+        row = _run_cell(
+            16,
+            "bst",
+            policy,
+            "flit-hashtable",
+            update_percent,
+            threads,
+            duration,
+            key_range=key_range,
+            flit_table_entries=entries,
+        )
+        row.optimizer = f"flit-hashtable({entries})"
+        rows.append(row)
+    # Skip It reference line: unaffected by any table size
+    rows.append(
+        _run_cell(
+            16, "bst", policy, "skipit", update_percent, threads, duration,
+            key_range=key_range,
+        )
+    )
+    return rows
+
+
+def rows_by_structure(rows: Sequence[ThroughputRow]) -> Dict[str, List[ThroughputRow]]:
+    grouped: Dict[str, List[ThroughputRow]] = {}
+    for row in rows:
+        grouped.setdefault(row.structure, []).append(row)
+    return grouped

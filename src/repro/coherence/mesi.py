@@ -1,0 +1,41 @@
+"""MESI naming over TileLink permissions.
+
+MESI (§2.2, [55]) and TileLink's permission lattice describe the same
+protocol from different angles:
+
+=========  ==============  ======
+MESI       TileLink perm   dirty
+=========  ==============  ======
+Modified   TRUNK           yes
+Exclusive  TRUNK           no
+Shared     BRANCH          no
+Invalid    NONE            --
+=========  ==============  ======
+
+The helpers here are used by tests and invariant checkers that want to
+speak MESI while the datapath speaks permissions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.tilelink.permissions import Perm
+
+
+class MesiState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+def mesi_state(perm: Perm, dirty: bool) -> MesiState:
+    """Classify a (permission, dirty) pair as a MESI state."""
+    if perm is Perm.NONE:
+        return MesiState.INVALID
+    if perm is Perm.BRANCH:
+        if dirty:
+            raise ValueError("a BRANCH (shared) line can never be dirty")
+        return MesiState.SHARED
+    return MesiState.MODIFIED if dirty else MesiState.EXCLUSIVE

@@ -1,0 +1,25 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.flush_queue` — the flush queue buffering CBO.X requests
+  so the LSU can commit past them (§5.2);
+* :mod:`repro.core.fshr` — flush status holding registers and their
+  six-state FSM (Figure 7);
+* :mod:`repro.core.flush_unit` — the flush unit proper: enqueue/dequeue
+  policy, Skip It filtering (§6.1), coalescing (§5.3), the flush counter
+  gating fences, and the probe/eviction interference machinery (§5.4);
+* :mod:`repro.core.semantics` — an executable model of the writeback
+  memory semantics of §4, used as a test oracle.
+"""
+
+from repro.core.flush_queue import FlushQueue, FlushRequest
+from repro.core.fshr import Fshr, FshrState
+from repro.core.flush_unit import FlushUnit, OfferResult
+
+__all__ = [
+    "FlushQueue",
+    "FlushRequest",
+    "Fshr",
+    "FshrState",
+    "FlushUnit",
+    "OfferResult",
+]

@@ -1,0 +1,128 @@
+"""RISC-V instruction encodings for the CMO extension and FENCE (§2.6).
+
+The paper implements ``CBO.CLEAN``/``CBO.FLUSH`` from the ratified RISC-V
+Base Cache Management Operation ISA extension [60].  This module provides
+the bit-exact 32-bit encodings so traces and test benches can speak real
+machine words:
+
+* CBO.* : ``| imm12 | rs1 | funct3=010 | rd=00000 | opcode=0001111 |``
+  with imm12 selecting the operation (0=inval, 1=clean, 2=flush, 4=zero);
+* FENCE : ``| fm | pred | succ | rs1 | funct3=000 | rd | opcode=0001111 |``.
+
+Both share the MISC-MEM major opcode (0b0001111).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+MISC_MEM_OPCODE = 0b0001111
+CBO_FUNCT3 = 0b010
+FENCE_FUNCT3 = 0b000
+
+
+class CboOp(enum.IntEnum):
+    """imm12 selector values from the CMO spec [60]."""
+
+    INVAL = 0
+    CLEAN = 1
+    FLUSH = 2
+    ZERO = 4
+
+
+@dataclass(frozen=True)
+class CboInstruction:
+    """A decoded CBO.* instruction."""
+
+    op: CboOp
+    rs1: int  # base-address register
+
+    def encode(self) -> int:
+        if not 0 <= self.rs1 < 32:
+            raise ValueError("rs1 must name one of x0..x31")
+        return (
+            (int(self.op) << 20)
+            | (self.rs1 << 15)
+            | (CBO_FUNCT3 << 12)
+            | (0 << 7)  # rd = x0
+            | MISC_MEM_OPCODE
+        )
+
+
+@dataclass(frozen=True)
+class FenceInstruction:
+    """A decoded FENCE pred,succ instruction (§2.6).
+
+    ``pred``/``succ`` are 4-bit sets over {I, O, R, W}; the paper uses the
+    strongest practical fence, ``FENCE RW, RW`` (pred=succ=0b0011).
+    """
+
+    pred: int = 0b0011  # RW
+    succ: int = 0b0011  # RW
+    fm: int = 0
+
+    def encode(self) -> int:
+        for field, width in ((self.pred, 4), (self.succ, 4), (self.fm, 4)):
+            if not 0 <= field < (1 << width):
+                raise ValueError("fence field out of range")
+        return (
+            (self.fm << 28)
+            | (self.pred << 24)
+            | (self.succ << 20)
+            | (0 << 15)  # rs1 = x0
+            | (FENCE_FUNCT3 << 12)
+            | (0 << 7)  # rd = x0
+            | MISC_MEM_OPCODE
+        )
+
+
+def encode_cbo(op: CboOp, rs1: int) -> int:
+    """32-bit machine word for ``cbo.<op> 0(rs1)``."""
+    return CboInstruction(op, rs1).encode()
+
+
+def encode_fence(pred: int = 0b0011, succ: int = 0b0011) -> int:
+    """32-bit machine word for ``fence pred, succ``."""
+    return FenceInstruction(pred, succ).encode()
+
+
+def decode(word: int):
+    """Decode a MISC-MEM word to a CboInstruction or FenceInstruction.
+
+    Returns ``None`` for words outside the MISC-MEM opcode or with an
+    unrecognized funct3/selector.
+    """
+    if word & 0x7F != MISC_MEM_OPCODE:
+        return None
+    funct3 = (word >> 12) & 0x7
+    if funct3 == CBO_FUNCT3:
+        selector = (word >> 20) & 0xFFF
+        try:
+            op = CboOp(selector)
+        except ValueError:
+            return None
+        return CboInstruction(op=op, rs1=(word >> 15) & 0x1F)
+    if funct3 == FENCE_FUNCT3:
+        return FenceInstruction(
+            pred=(word >> 24) & 0xF,
+            succ=(word >> 20) & 0xF,
+            fm=(word >> 28) & 0xF,
+        )
+    return None
+
+
+def disassemble(word: int) -> Optional[str]:
+    """Human-readable mnemonic for a MISC-MEM word, or None."""
+    decoded = decode(word)
+    if decoded is None:
+        return None
+    if isinstance(decoded, CboInstruction):
+        return f"cbo.{decoded.op.name.lower()} 0(x{decoded.rs1})"
+    sets = "iorw"
+
+    def bits(value: int) -> str:
+        return "".join(c for i, c in enumerate(sets) if value & (1 << (3 - i)))
+
+    return f"fence {bits(decoded.pred)},{bits(decoded.succ)}"

@@ -1,0 +1,127 @@
+"""The flush queue (§5.2).
+
+Incoming ``CBO.X`` requests are buffered here together with the metadata
+sampled at enqueue time (hit/dirty/way/permission).  Because an arbitrary
+number of cycles may pass before an FSHR dequeues the entry, the sampled
+metadata can be invalidated by coherence probes (§5.4.1) or evictions
+(§5.4.2); the queue therefore supports targeted downgrades of pending
+entries (``probe_invalidate`` / ``evict_invalidate``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.tilelink.permissions import Cap, Perm
+
+_flush_ids = itertools.count()
+
+
+class CboKind(enum.Enum):
+    """Which CBO.X a flush request executes.
+
+    CLEAN and FLUSH are the paper's instructions (§2.6); INVAL is the
+    CMO extension's cbo.inval [60], implemented here as an extension:
+    it invalidates without writing back (dirty data is *discarded*).
+    """
+
+    CLEAN = "clean"
+    FLUSH = "flush"
+    INVAL = "inval"
+
+
+@dataclass
+class FlushRequest:
+    """One buffered CBO.X with the cache-line bookkeeping of §5.2."""
+
+    address: int  # line address
+    kind: CboKind
+    is_hit: bool
+    is_dirty: bool
+    way: int = -1  # L1 way at enqueue time, valid only while is_hit
+    perm: Perm = Perm.NONE  # permission at enqueue, kept current by probes
+    flush_id: int = field(default_factory=lambda: next(_flush_ids), compare=False)
+
+    @property
+    def is_clean(self) -> bool:
+        return self.kind is CboKind.CLEAN
+
+    def apply_downgrade(self, cap: Cap) -> None:
+        """Reflect a permission downgrade (probe) on the sampled metadata.
+
+        A probe that revokes the line (toN) turns the entry into a miss
+        entry; one that downgrades to BRANCH clears the dirty bit (the
+        probe response carried the dirty data to L2).
+        """
+        if cap is Cap.toN:
+            self.is_hit = False
+            self.is_dirty = False
+            self.perm = Perm.NONE
+            self.way = -1
+        elif cap is Cap.toB:
+            self.is_dirty = False
+            if self.perm is Perm.TRUNK:
+                self.perm = Perm.BRANCH
+
+    def apply_eviction(self) -> None:
+        """Reflect the line's eviction from L1 (writeback unit, §5.4.2)."""
+        self.apply_downgrade(Cap.toN)
+
+
+class FlushQueue:
+    """Bounded FIFO of :class:`FlushRequest` with in-place invalidation."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("flush queue depth must be >= 1")
+        self.depth = depth
+        self._entries: List[FlushRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, request: FlushRequest) -> None:
+        if self.full:
+            raise RuntimeError("push into full flush queue")
+        self._entries.append(request)
+
+    def pop(self) -> FlushRequest:
+        return self._entries.pop(0)
+
+    def peek(self) -> FlushRequest:
+        return self._entries[0]
+
+    def entries_for(self, address: int) -> List[FlushRequest]:
+        return [e for e in self._entries if e.address == address]
+
+    def has_line(self, address: int) -> bool:
+        return any(e.address == address for e in self._entries)
+
+    def probe_invalidate(self, address: int, cap: Cap) -> int:
+        """Downgrade all pending entries for *address*; return count touched."""
+        touched = 0
+        for entry in self._entries:
+            if entry.address == address:
+                entry.apply_downgrade(cap)
+                touched += 1
+        return touched
+
+    def evict_invalidate(self, address: int) -> int:
+        """Mark pending entries for *address* as misses after eviction."""
+        touched = 0
+        for entry in self._entries:
+            if entry.address == address:
+                entry.apply_eviction()
+                touched += 1
+        return touched

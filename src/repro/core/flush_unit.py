@@ -1,0 +1,326 @@
+"""The flush unit (§5.2-§5.4) with Skip It filtering (§6).
+
+The flush unit lives inside the L1 data cache (Figure 8).  It owns:
+
+* the **flush queue** buffering incoming CBO.X requests, which lets the
+  LSU commit a CBO.X as soon as it is buffered;
+* eight **FSHRs** executing dequeued requests asynchronously;
+* the **flush counter** tracking outstanding writebacks; fences commit
+  only while it is zero (``flushing`` low, §5.3);
+* the interference machinery of §5.4: pending queue entries are downgraded
+  when probes (``probe_invalidate``) or evictions (``evict_invalidate``)
+  change line state, ``flush_rdy`` blocks probes/evictions while an FSHR
+  is mutating line state, and dequeue is gated on ``probe_rdy`` and
+  ``wb_rdy``.
+
+Skip It (§6.1): when the skip bit says the line is persisted (hit, clean,
+skip set), the CBO.X is dropped before it ever enters the queue — saving
+the queue/FSHR occupancy and the round trip to L2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.flush_queue import CboKind, FlushQueue, FlushRequest
+from repro.core.fshr import RELEASE_PARAM, Fshr, FshrState, release_shrink
+from repro.sim.config import SoCParams
+from repro.sim.stats import StatCounter
+from repro.tilelink.messages import root_release
+from repro.tilelink.permissions import Cap
+
+if TYPE_CHECKING:  # avoid a circular import with repro.uarch
+    from repro.uarch.arrays import MetaEntry
+
+
+class OfferResult(enum.Enum):
+    """Outcome of offering a CBO.X to the flush unit."""
+
+    ACCEPTED = "accepted"  # buffered in the flush queue
+    SKIPPED = "skipped"  # dropped by Skip It (persisted line)
+    COALESCED = "coalesced"  # merged with a pending same-line same-kind entry
+    NACK = "nack"  # flush queue full; LSU must retry
+
+
+class FlushUnit:
+    """Flush queue + FSHRs + flush counter, embedded in one L1."""
+
+    def __init__(self, l1, params: SoCParams) -> None:
+        self.l1 = l1
+        self.params = params
+        fu = params.flush_unit
+        self.queue = FlushQueue(fu.flush_queue_depth)
+        self.fshrs: List[Fshr] = [Fshr(i) for i in range(fu.num_fshrs)]
+        self._rr_next = 0  # round-robin allocation pointer (§5.2)
+        self.flush_counter = 0
+        self.stats = StatCounter()
+
+    # ------------------------------------------------------------- signals
+    @property
+    def flushing(self) -> bool:
+        """High while any CBO.X is pending; gates fence commit (§5.3)."""
+        return self.flush_counter > 0
+
+    @property
+    def flush_rdy(self) -> bool:
+        """Low while any FSHR may still mutate line state (§5.4.1)."""
+        return not any(f.holds_line_exclusive for f in self.fshrs)
+
+    # ------------------------------------------------------------- queries
+    def pending_for(self, address: int) -> bool:
+        """Any queue entry or busy FSHR for this line?"""
+        return self.queue.has_line(address) or self.fshr_for(address) is not None
+
+    def queue_pending_for(self, address: int) -> bool:
+        return self.queue.has_line(address)
+
+    def fshr_for(self, address: int) -> Optional[Fshr]:
+        for fshr in self.fshrs:
+            if fshr.busy and fshr.address == address:
+                return fshr
+        return None
+
+    def store_may_proceed(self, address: int) -> bool:
+        """The three store conditions of §5.3.
+
+        A store to a line with a pending CBO.X may only proceed when the
+        request is already in an FSHR, that FSHR runs a CBO.CLEAN, and the
+        line either was not dirty or the data buffer is already filled —
+        guaranteeing the store's data is not swept up by the writeback.
+        """
+        if self.queue.has_line(address):
+            return False
+        fshr = self.fshr_for(address)
+        if fshr is None:
+            return True
+        if not fshr.is_clean:
+            return False
+        request = fshr.request
+        assert request is not None
+        if request.is_dirty and not fshr.buffer_filled:
+            return False
+        return True
+
+    def load_forward(self, address: int) -> Optional[bytes]:
+        """Forward a filled FSHR buffer to a missing load (§5.3)."""
+        fshr = self.fshr_for(address)
+        if fshr is not None and fshr.buffer_filled:
+            return fshr.buffer
+        return None
+
+    def load_must_wait(self, address: int) -> bool:
+        """A missing load must be nacked while this line's CBO.X is unresolved."""
+        if self.queue.has_line(address):
+            return True
+        fshr = self.fshr_for(address)
+        return fshr is not None and not fshr.buffer_filled
+
+    # -------------------------------------------------------------- enqueue
+    def offer(
+        self,
+        address: int,
+        kind: CboKind,
+        hit: "Optional[Tuple[int, MetaEntry]]",
+    ) -> OfferResult:
+        """Handle a CBO.X fired from the LSU.
+
+        *hit* is the (way, metadata) pair when the line is present, or
+        ``None`` on a miss; the metadata was fetched with the request, so
+        no extra metadata-array access is charged (§5.2).
+        """
+        if hit is not None and kind is not CboKind.INVAL:
+            way, entry = hit
+            # Skip It (§6.1): hit + clean + skip set => the line is
+            # persisted; drop the request outright.  Never applies to
+            # cbo.inval, whose invalidation is architecturally required.
+            if self.params.skip_it and not entry.dirty and entry.skip:
+                self.stats.inc("skipped")
+                return OfferResult.SKIPPED
+        # Coalescing (§5.3): a same-kind CBO.X to a line already pending in
+        # the queue adds nothing — the queued request will write back every
+        # earlier store to the line.  (FSHR-resident requests are not
+        # coalesced with: the line state may have changed since dequeue.)
+        if self.params.flush_unit.coalesce:
+            for entry_ in self.queue.entries_for(address):
+                if entry_.kind is kind:
+                    self.stats.inc("coalesced")
+                    return OfferResult.COALESCED
+                if self._cross_coalesce(entry_, kind):
+                    return OfferResult.COALESCED
+        # §5.3: any other CBO.X dependent on a pending same-line request
+        # must nack — enqueueing it now would sample metadata that the
+        # pending request is about to change (e.g. a flush invalidating
+        # the line after this request recorded a hit).
+        if self.pending_for(address):
+            self.stats.inc("nacked_dependent")
+            return OfferResult.NACK
+        if self.queue.full:
+            self.stats.inc("nacked_full")
+            return OfferResult.NACK
+        if hit is not None:
+            way, meta = hit
+            request = FlushRequest(
+                address=address,
+                kind=kind,
+                is_hit=True,
+                is_dirty=meta.dirty,
+                way=way,
+                perm=meta.perm,
+            )
+        else:
+            request = FlushRequest(
+                address=address, kind=kind, is_hit=False, is_dirty=False
+            )
+        self.queue.push(request)
+        self.flush_counter += 1
+        self.stats.inc("enqueued")
+        return OfferResult.ACCEPTED
+
+    def _cross_coalesce(self, pending: FlushRequest, kind: CboKind) -> bool:
+        """Cross-kind coalescing, the future-work optimization of §5.3.
+
+        Disabled by default (the paper leaves it to future work).  When
+        enabled: a CBO.CLEAN may merge into a queued CBO.FLUSH (the flush
+        already writes back and does strictly more), and a CBO.FLUSH may
+        *upgrade* a queued CBO.CLEAN in place.  cbo.inval never merges
+        across kinds: its discard semantics differ.
+        """
+        if not self.params.flush_unit.coalesce_cross_kind:
+            return False
+        if CboKind.INVAL in (pending.kind, kind):
+            return False
+        if pending.kind is CboKind.FLUSH and kind is CboKind.CLEAN:
+            self.stats.inc("coalesced_cross")
+            return True
+        if pending.kind is CboKind.CLEAN and kind is CboKind.FLUSH:
+            pending.kind = CboKind.FLUSH
+            self.stats.inc("coalesced_cross_upgrade")
+            return True
+        return False
+
+    # ------------------------------------------------- interference (§5.4)
+    def probe_invalidate(self, address: int, cap: Cap) -> None:
+        """Probe unit reports a downgrade of *address* (§5.4.1)."""
+        touched = self.queue.probe_invalidate(address, cap)
+        if touched:
+            self.stats.inc("probe_invalidated", touched)
+
+    def evict_invalidate(self, address: int) -> None:
+        """Writeback unit reports the eviction of *address* (§5.4.2)."""
+        touched = self.queue.evict_invalidate(address)
+        if touched:
+            self.stats.inc("evict_invalidated", touched)
+
+    # ---------------------------------------------------------------- tick
+    def tick(self, cycle: int) -> None:
+        self._step_fshrs(cycle)
+        self._try_dequeue(cycle)
+
+    def _try_dequeue(self, cycle: int) -> None:
+        """Allocate a free FSHR for the queue head when the way is clear.
+
+        Dequeue requires ``probe_rdy`` (no probe racing the queue, §5.4.1)
+        and ``wb_rdy`` (no eviction racing it, §5.4.2).
+        """
+        if self.queue.empty:
+            return
+        if not self.l1.probe_unit.probe_rdy or not self.l1.wbu.wb_rdy:
+            return
+        fshr = self._free_fshr()
+        if fshr is None:
+            return
+        request = self.queue.pop()
+        fill_cycles = (
+            1
+            if self.params.flush_unit.wide_data_array
+            else self.params.line_bytes // 8
+        )
+        fshr.accept(request, fill_cycles)
+        self.stats.inc("fshr_allocated")
+        self.l1.engine.note_progress()
+
+    def _free_fshr(self) -> Optional[Fshr]:
+        n = len(self.fshrs)
+        for offset in range(n):
+            fshr = self.fshrs[(self._rr_next + offset) % n]
+            if not fshr.busy:
+                self._rr_next = (fshr.index + 1) % n
+                return fshr
+        return None
+
+    def _step_fshrs(self, cycle: int) -> None:
+        for fshr in self.fshrs:
+            if not fshr.busy or fshr.awaiting_ack:
+                continue
+            request = fshr.request
+            assert request is not None
+            if fshr.state is FshrState.META_WRITE:
+                self._apply_meta_write(request)
+                fshr.after_meta_write()
+            elif fshr.state is FshrState.FILL_BUFFER:
+                line = self.l1.data.read_line(
+                    self.l1.geometry.set_index(request.address), request.way
+                )
+                fshr.fill_step(line)
+            elif fshr.state is FshrState.ROOT_RELEASE_DATA:
+                self._send_release(fshr, request, with_data=True, cycle=cycle)
+            elif fshr.state is FshrState.ROOT_RELEASE:
+                self._send_release(fshr, request, with_data=False, cycle=cycle)
+            self.l1.engine.note_progress()
+
+    def _apply_meta_write(self, request: FlushRequest) -> None:
+        """Invalidate (flush/inval) or clean (clear dirty) the metadata."""
+        entry = self.l1.meta.way_entry(request.address, request.way)
+        if request.kind is CboKind.CLEAN:
+            entry.dirty = False
+        else:
+            entry.invalidate()
+            self.l1.flush_unit_evicted_line(request.address)
+
+    def _send_release(
+        self, fshr: Fshr, request: FlushRequest, with_data: bool, cycle: int
+    ) -> None:
+        data = fshr.buffer if with_data else None
+        message = root_release(
+            source=self.l1.agent_id,
+            address=request.address,
+            param=RELEASE_PARAM[request.kind],
+            shrink=release_shrink(request),
+            data=data,
+        )
+        self.l1.send_channel_c(message, cycle)
+        fshr.sent_release()
+        self.stats.inc("root_release_data" if with_data else "root_release_nodata")
+
+    # ----------------------------------------------------------------- ack
+    def deliver_ack(self, address: int) -> None:
+        """Consume a RootReleaseAck for *address* (oldest awaiting FSHR)."""
+        for fshr in self.fshrs:
+            if fshr.awaiting_ack and fshr.address == address:
+                request = fshr.complete()
+                self.flush_counter -= 1
+                self.stats.inc("acks")
+                if request.kind is CboKind.CLEAN:
+                    self._maybe_set_skip(request)
+                self.l1.engine.note_progress()
+                return
+        raise RuntimeError(f"RootReleaseAck for {address:#x} with no waiting FSHR")
+
+    def _maybe_set_skip(self, request: FlushRequest) -> None:
+        """After a completed CBO.CLEAN the line is persisted end to end.
+
+        The ack means L2 wrote the line to DRAM (§5.5), so if the line is
+        still resident and has not been re-dirtied, its skip bit may be
+        set — making follow-up CBO.X to the line skippable.  Guarded by
+        the dirty bit: a store that squeezed in after the buffer fill
+        (§5.3) re-dirties the line and must keep skip unset.
+        """
+        if not self.params.skip_it:
+            return
+        hit = self.l1.meta.lookup(request.address)
+        if hit is None:
+            return
+        _, entry = hit
+        if not entry.dirty:
+            entry.skip = True

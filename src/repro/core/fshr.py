@@ -1,0 +1,153 @@
+"""Flush Status Holding Registers (§5.2, Figure 7).
+
+Each FSHR executes one dequeued :class:`~repro.core.flush_queue.FlushRequest`
+through the state machine::
+
+    invalid -> meta_write -> fill_buffer -> root_release_data -> root_release_ack
+            \\-> meta_write ------------------> root_release --/
+            \\-> root_release ----------------------------------/
+
+* ``meta_write`` — invalidate the line (flush) or clear its dirty bit
+  (clean); one cycle.
+* ``fill_buffer`` — read the whole line from the (widened) data array into
+  the FSHR's data buffer; one cycle with the paper's widened array, or
+  ``line_bytes / 8`` cycles without it (an ablation knob).
+* ``root_release_data`` / ``root_release`` — emit the RootRelease on TL-C;
+  the channel model charges four beats for the 64 B payload (16 B bus).
+* ``root_release_ack`` — wait for the RootReleaseAck on TL-D.
+
+While an FSHR is anywhere between allocation and ``root_release_ack``,
+``flush_rdy`` is held low so probes and evictions cannot preempt it
+(§5.4.1-§5.4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.flush_queue import CboKind, FlushRequest
+from repro.tilelink.messages import ProbeAckParam
+from repro.tilelink.permissions import Perm, Shrink
+
+
+class FshrState(enum.Enum):
+    INVALID = "invalid"
+    META_WRITE = "meta_write"
+    FILL_BUFFER = "fill_buffer"
+    ROOT_RELEASE_DATA = "root_release_data"
+    ROOT_RELEASE = "root_release"
+    ROOT_RELEASE_ACK = "root_release_ack"
+
+
+def release_shrink(request: FlushRequest) -> Shrink:
+    """Shrink/report param the RootRelease carries, from the sampled state.
+
+    A flush/inval relinquishes the line (TtoN/BtoN); a clean reports its
+    retained permission (TtoT/BtoB); a miss reports NtoN.
+    """
+    if not request.is_hit or request.perm is Perm.NONE:
+        return Shrink.NtoN
+    if request.kind is CboKind.CLEAN:
+        return Shrink.TtoT if request.perm is Perm.TRUNK else Shrink.BtoB
+    return Shrink.TtoN if request.perm is Perm.TRUNK else Shrink.BtoN
+
+
+RELEASE_PARAM = {
+    CboKind.CLEAN: ProbeAckParam.CLEAN,
+    CboKind.FLUSH: ProbeAckParam.FLUSH,
+    CboKind.INVAL: ProbeAckParam.INVAL,
+}
+
+
+class Fshr:
+    """One flush status holding register."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = FshrState.INVALID
+        self.request: Optional[FlushRequest] = None
+        self.buffer: Optional[bytes] = None
+        self._fill_cycles_left = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def busy(self) -> bool:
+        return self.state is not FshrState.INVALID
+
+    @property
+    def address(self) -> Optional[int]:
+        return self.request.address if self.request else None
+
+    @property
+    def is_clean(self) -> bool:
+        return bool(self.request and self.request.is_clean)
+
+    @property
+    def buffer_filled(self) -> bool:
+        return self.buffer is not None
+
+    @property
+    def awaiting_ack(self) -> bool:
+        return self.state is FshrState.ROOT_RELEASE_ACK
+
+    @property
+    def holds_line_exclusive(self) -> bool:
+        """True while the FSHR may still touch the line's metadata/data."""
+        return self.busy and not self.awaiting_ack
+
+    # ------------------------------------------------------------- control
+    def accept(self, request: FlushRequest, fill_cycles: int) -> None:
+        """Set up the execution plan for a dequeued request (Figure 7)."""
+        if self.busy:
+            raise RuntimeError("accept into busy FSHR")
+        self.request = request
+        self.buffer = None
+        self._fill_cycles_left = fill_cycles
+        if request.kind is CboKind.INVAL:
+            # cbo.inval discards data: invalidate metadata on a hit, never
+            # fill a buffer, always a dataless release
+            self.state = (
+                FshrState.META_WRITE if request.is_hit else FshrState.ROOT_RELEASE
+            )
+        elif request.is_hit and request.is_dirty:
+            self.state = FshrState.META_WRITE
+        elif request.is_hit and request.kind is CboKind.FLUSH:
+            # clean line, CBO.FLUSH: still must invalidate metadata
+            self.state = FshrState.META_WRITE
+        else:
+            # clean line with CBO.CLEAN, or miss: no metadata change
+            self.state = FshrState.ROOT_RELEASE
+
+    def after_meta_write(self) -> None:
+        if self.request is None:  # pragma: no cover - defensive
+            raise RuntimeError("FSHR has no request")
+        if self.request.kind is CboKind.INVAL:
+            self.state = FshrState.ROOT_RELEASE  # dirty data is discarded
+        elif self.request.is_dirty:
+            self.state = FshrState.FILL_BUFFER
+        else:
+            self.state = FshrState.ROOT_RELEASE
+
+    def fill_step(self, line_data: bytes) -> bool:
+        """Advance the buffer fill by one cycle; True when complete."""
+        self._fill_cycles_left -= 1
+        if self._fill_cycles_left <= 0:
+            self.buffer = bytes(line_data)
+            self.state = FshrState.ROOT_RELEASE_DATA
+            return True
+        return False
+
+    def sent_release(self) -> None:
+        self.state = FshrState.ROOT_RELEASE_ACK
+
+    def complete(self) -> FlushRequest:
+        """Consume the RootReleaseAck; free the FSHR and return its request."""
+        if self.state is not FshrState.ROOT_RELEASE_ACK:
+            raise RuntimeError(f"ack in state {self.state}")
+        request = self.request
+        assert request is not None
+        self.state = FshrState.INVALID
+        self.request = None
+        self.buffer = None
+        return request

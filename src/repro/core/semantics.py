@@ -1,0 +1,96 @@
+"""Executable model of the writeback memory semantics (§4).
+
+The paper defines: ``writeback(c)`` guarantees that all *earlier* (program
+order) writes to any location of c's cache line C are written back to
+memory — eventually; a following ``fence()`` guarantees they are in memory
+before anything after the fence executes.  A writeback is *not* ordered
+with other writebacks, nor with later writes to the same line.
+
+:class:`WritebackOracle` consumes a single thread's program-order event
+stream and answers, at each fence, the minimal set of (address, value)
+pairs that *must* be visible in main memory.  Tests run the same program
+on the cycle simulator and check the simulator's memory against the
+oracle.  The oracle is deliberately *minimal*: the simulator may persist
+more (e.g. via evictions) but never less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class _LineHistory:
+    """Per-line program-order history of word writes and writebacks."""
+
+    # latest value of each word address written so far
+    current: Dict[int, int] = field(default_factory=dict)
+    # snapshot of `current` at the most recent writeback of this line
+    at_last_writeback: Dict[int, int] = field(default_factory=dict)
+    writeback_seen: bool = False
+
+
+class WritebackOracle:
+    """Minimal must-be-persisted oracle for one thread (§4 semantics)."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._lines: Dict[int, _LineHistory] = {}
+        self._fenced: Dict[int, int] = {}  # address -> value known persisted
+
+    def _line_of(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def _history(self, address: int) -> _LineHistory:
+        return self._lines.setdefault(self._line_of(address), _LineHistory())
+
+    # --------------------------------------------------------------- events
+    def write(self, address: int, value: int) -> None:
+        """A store in program order."""
+        self._history(address).current[address] = value
+
+    def writeback(self, address: int) -> None:
+        """A CBO.CLEAN/CBO.FLUSH in program order.
+
+        Captures exactly the writes that precede it: later writes to the
+        same line are *not* covered (§4, scenario (b) discussion).
+        """
+        history = self._history(address)
+        history.at_last_writeback = dict(history.current)
+        history.writeback_seen = True
+
+    def fence(self) -> Dict[int, int]:
+        """A FENCE in program order.
+
+        Returns (and accumulates) every (word address, value) that the
+        §4 semantics now require to be in main memory: for each line with
+        a prior writeback, the writes that preceded its *latest*
+        writeback.
+        """
+        for history in self._lines.values():
+            if history.writeback_seen:
+                self._fenced.update(history.at_last_writeback)
+        return dict(self._fenced)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def required_persisted(self) -> Dict[int, int]:
+        """Everything fences so far oblige main memory to contain."""
+        return dict(self._fenced)
+
+    def check_memory(self, read_persisted) -> List[str]:
+        """Compare requirements against *read_persisted(address) -> value*.
+
+        Returns a list of human-readable violations (empty when the
+        implementation satisfies the semantics).
+        """
+        violations = []
+        for address, expected in sorted(self._fenced.items()):
+            actual = read_persisted(address)
+            if actual != expected:
+                violations.append(
+                    f"addr {address:#x}: fence requires {expected}, "
+                    f"memory holds {actual}"
+                )
+        return violations

@@ -1,0 +1,11 @@
+"""Main-memory models.
+
+``MainMemory`` is the flat backing store (the persistence domain in the
+NVMM scenarios the paper motivates).  ``DramModel`` wraps it in a
+fixed-latency TileLink manager as FASED does for FireSim (§7.1).
+"""
+
+from repro.mem.memory import MainMemory
+from repro.mem.dram import DramModel
+
+__all__ = ["MainMemory", "DramModel"]

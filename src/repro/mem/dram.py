@@ -1,0 +1,82 @@
+"""Fixed-latency DRAM front-end (the FASED stand-in).
+
+The L2 talks to main memory over a TileLink-style link: ``Acquire`` fetches
+a line (answered with ``GrantData``) and ``Release`` writes one back
+(answered with ``ReleaseAck``).  Every request is served
+``latency`` cycles after its last beat arrives, modelling a closed-page
+DRAM access; the data payloads still pay beat costs on the channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mem.memory import MainMemory
+from repro.sim.engine import Engine
+from repro.tilelink.channel import BeatChannel
+from repro.tilelink.messages import Acquire, GrantData, Release, ReleaseAck
+
+
+class DramModel:
+    """TileLink manager that answers the L2's outer link."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        memory: MainMemory,
+        latency: int = 60,
+        bus_bytes: int = 16,
+    ) -> None:
+        self.engine = engine
+        self.memory = memory
+        self.latency = latency
+        # inbound from L2 (A for Acquire, C for Release), outbound to L2 (D)
+        self.chan_a: BeatChannel[Acquire] = BeatChannel("dram.a", bus_bytes)
+        self.chan_c: BeatChannel[Release] = BeatChannel("dram.c", bus_bytes)
+        self.chan_d: BeatChannel[object] = BeatChannel("dram.d", bus_bytes)
+        self._pending: List[Tuple[int, object]] = []  # (ready_cycle, request)
+        engine.register(self)
+
+    def tick(self, cycle: int) -> None:
+        for message in self.chan_a.drain_ready(cycle):
+            self._pending.append((cycle + self.latency, message))
+            self.engine.note_progress()
+        for message in self.chan_c.drain_ready(cycle):
+            self._pending.append((cycle + self.latency, message))
+            self.engine.note_progress()
+        still_pending: List[Tuple[int, object]] = []
+        for ready, request in self._pending:
+            if ready > cycle:
+                still_pending.append((ready, request))
+                continue
+            self._respond(request, cycle)
+            self.engine.note_progress()
+        self._pending = still_pending
+
+    def _respond(self, request: object, cycle: int) -> None:
+        if isinstance(request, Acquire):
+            data = self.memory.read_line(request.address)
+            self.chan_d.send(
+                GrantData(
+                    source=request.source,
+                    address=request.address,
+                    grow=request.grow,
+                    data=data,
+                    dirty=False,
+                ),
+                cycle,
+            )
+        elif isinstance(request, Release):
+            if request.data is not None:
+                self.memory.write_line(request.address, request.data)
+            self.chan_d.send(
+                ReleaseAck(source=request.source, address=request.address), cycle
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"DRAM cannot serve {type(request).__name__}")
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._pending) or not (
+            self.chan_a.idle and self.chan_c.idle and self.chan_d.idle
+        )

@@ -1,0 +1,50 @@
+"""Flat line-granular main memory.
+
+In the NVMM scenarios that motivate the paper (§1, §2.5) main memory *is*
+the persistence domain: a line is persisted exactly when its bytes here
+match every cached copy.  Untouched memory reads as zeroes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class MainMemory:
+    """Byte-addressable memory stored as line-granular records."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._lines: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check_aligned(self, address: int) -> None:
+        if address % self.line_bytes:
+            raise ValueError(f"address {address:#x} is not line-aligned")
+
+    def read_line(self, address: int) -> bytes:
+        self._check_aligned(address)
+        self.reads += 1
+        return self._lines.get(address, bytes(self.line_bytes))
+
+    def write_line(self, address: int, data: bytes) -> None:
+        self._check_aligned(address)
+        if len(data) != self.line_bytes:
+            raise ValueError(
+                f"line write of {len(data)} bytes, expected {self.line_bytes}"
+            )
+        self.writes += 1
+        self._lines[address] = bytes(data)
+
+    def peek_line(self, address: int) -> bytes:
+        """Read without perturbing statistics (debug/checker use)."""
+        self._check_aligned(address)
+        return self._lines.get(address, bytes(self.line_bytes))
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Copy of all written lines; models the state surviving a crash."""
+        return dict(self._lines)
+
+    def lines(self) -> Iterator[Tuple[int, bytes]]:
+        return iter(self._lines.items())

@@ -1,0 +1,52 @@
+"""Persistent (NVMM) programming layer over the timing model (§7.4).
+
+This package reproduces the software side of the paper's evaluation:
+
+* :mod:`repro.persist.heap` — a simulated persistent heap;
+* :mod:`repro.persist.flushopt` — the redundant-writeback filters the
+  paper compares: plain, FliT adjacent, FliT hash table, link-and-persist
+  and Skip It (hardware);
+* :mod:`repro.persist.policies` — persistence algorithms: automatic,
+  NVTraverse-style, and manual;
+* :mod:`repro.persist.api` — the per-thread ``PMemView`` tying a thread
+  context, a policy and an optimizer together;
+* :mod:`repro.persist.structures` — the four data structures of Figure 14
+  (linked list, hash table, skiplist, BST);
+* :mod:`repro.persist.recovery` — crash-recovery checkers.
+"""
+
+from repro.persist.api import PMemView
+from repro.persist.heap import SimHeap
+from repro.persist.flushopt import (
+    FlitAdjacent,
+    FlitHashTable,
+    FlushOptimizer,
+    LinkAndPersist,
+    Plain,
+    SkipItHardware,
+    make_optimizer,
+)
+from repro.persist.policies import (
+    Automatic,
+    Manual,
+    NVTraverse,
+    PersistencePolicy,
+    make_policy,
+)
+
+__all__ = [
+    "PMemView",
+    "SimHeap",
+    "FlushOptimizer",
+    "Plain",
+    "FlitAdjacent",
+    "FlitHashTable",
+    "LinkAndPersist",
+    "SkipItHardware",
+    "make_optimizer",
+    "PersistencePolicy",
+    "Automatic",
+    "NVTraverse",
+    "Manual",
+    "make_policy",
+]

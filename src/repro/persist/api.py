@@ -1,0 +1,67 @@
+"""Per-thread persistent-memory view.
+
+A :class:`PMemView` binds a thread context to a persistence policy and a
+writeback filter.  Data structures perform all shared-memory traffic
+through it, tagging accesses as traversal (default) or *critical* (the
+accesses the operation's durability hinges on); the policy maps tags to
+flushes, the optimizer decides which flushes are redundant, and the
+timing system charges for everything.
+"""
+
+from __future__ import annotations
+
+from repro.persist.flushopt import FlushOptimizer
+from repro.persist.policies import PersistencePolicy
+from repro.timing.system import ThreadCtx
+
+
+class PMemView:
+    """What a persistent data structure sees of the memory system."""
+
+    def __init__(
+        self,
+        ctx: ThreadCtx,
+        policy: PersistencePolicy,
+        optimizer: FlushOptimizer,
+    ) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.optimizer = optimizer
+        self._did_update = False
+        self.flush_requests = 0
+
+    # ------------------------------------------------------------ accesses
+    def read(self, address: int, critical: bool = False) -> int:
+        value = self.optimizer.read(self.ctx, address)
+        if self.policy.flush_on_read(critical):
+            self.flush(address)
+        return value
+
+    def write(self, address: int, value: int, critical: bool = False) -> None:
+        self.optimizer.write(self.ctx, address, value)
+        self._did_update = True
+        if self.policy.flush_on_write(critical):
+            self.flush(address)
+
+    def cas(
+        self, address: int, expected: int, new: int, critical: bool = True
+    ) -> bool:
+        ok = self.optimizer.cas(self.ctx, address, expected, new)
+        if ok:
+            self._did_update = True
+            if self.policy.flush_on_write(critical):
+                self.flush(address)
+        return ok
+
+    def flush(self, address: int) -> None:
+        """Request a writeback; the optimizer may prove it redundant."""
+        self.flush_requests += 1
+        self.optimizer.flush(self.ctx, address)
+
+    # ----------------------------------------------------- operation frame
+    def op_begin(self) -> None:
+        self._did_update = False
+
+    def op_end(self) -> None:
+        if self.policy.fence_on_op_end(self._did_update):
+            self.ctx.fence()

@@ -1,0 +1,30 @@
+"""Persistent data structures of the §7.4 evaluation.
+
+Four set implementations, mirroring the paper's benchmark suite: a sorted
+linked list [31], a hash table [23], a skiplist [23] and an external
+binary search tree [53].  All shared-memory traffic flows through
+:class:`repro.persist.api.PMemView`, so every (policy, optimizer) pairing
+of §7.4 can be applied uniformly.
+"""
+
+from repro.persist.structures.base import PersistentSet
+from repro.persist.structures.linkedlist import PersistentLinkedList
+from repro.persist.structures.hashtable import PersistentHashTable
+from repro.persist.structures.skiplist import PersistentSkipList
+from repro.persist.structures.bst import PersistentBst
+
+STRUCTURES = {
+    "list": PersistentLinkedList,
+    "hashtable": PersistentHashTable,
+    "skiplist": PersistentSkipList,
+    "bst": PersistentBst,
+}
+
+__all__ = [
+    "PersistentSet",
+    "PersistentLinkedList",
+    "PersistentHashTable",
+    "PersistentSkipList",
+    "PersistentBst",
+    "STRUCTURES",
+]

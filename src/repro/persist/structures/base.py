@@ -1,0 +1,55 @@
+"""Common machinery for the persistent set implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Set
+
+from repro.persist.api import PMemView
+from repro.persist.heap import SimHeap
+
+# Recovery readers receive raw persisted words; structures must strip any
+# optimizer mark bits before interpreting them as keys or pointers.
+PersistedReader = Callable[[int], int]
+
+
+class PersistentSet:
+    """Abstract persistent set of positive integer keys."""
+
+    name = "set"
+    #: True when the algorithm steals pointer bits, which rules out the
+    #: link-and-persist filter (as for the BST in the paper, §7.4).
+    uses_pointer_tagging = False
+
+    def __init__(self, heap: SimHeap, field_stride: int = 8) -> None:
+        self.heap = heap
+        self.field_stride = field_stride
+
+    # ------------------------------------------------------------- set API
+    def insert(self, view: PMemView, key: int) -> bool:
+        raise NotImplementedError
+
+    def delete(self, view: PMemView, key: int) -> bool:
+        raise NotImplementedError
+
+    def contains(self, view: PMemView, key: int) -> bool:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ recovery
+    def recover_keys(self, read: PersistedReader) -> Set[int]:
+        """Keys reachable in the persisted (post-crash) image."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helper
+    def _alloc(self, num_fields: int):
+        return self.heap.alloc(num_fields, self.field_stride)
+
+
+def persisted_reader(
+    persisted: Mapping[int, int], mask: int = ~(1 << 62)
+) -> PersistedReader:
+    """Build a reader over a crash image, stripping link-and-persist marks."""
+
+    def read(address: int) -> int:
+        return persisted.get(address, 0) & mask
+
+    return read

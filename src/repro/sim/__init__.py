@@ -1,0 +1,22 @@
+"""Cycle-level simulation kernel.
+
+The kernel is deliberately small: components register with an
+:class:`~repro.sim.engine.Engine` and are ticked once per simulated cycle.
+All inter-component communication happens through bounded queues
+(:mod:`repro.sim.queue`) so that back-pressure is explicit, as it is in the
+RTL the paper modifies.
+"""
+
+from repro.sim.engine import Engine, SimulationDeadlock
+from repro.sim.queue import BoundedQueue
+from repro.sim.stats import Histogram, StatCounter, median, stdev
+
+__all__ = [
+    "Engine",
+    "SimulationDeadlock",
+    "BoundedQueue",
+    "StatCounter",
+    "Histogram",
+    "median",
+    "stdev",
+]

@@ -1,0 +1,80 @@
+"""Bounded FIFO used for all inter-component links.
+
+Hardware queues have a fixed depth; pushing into a full queue must be
+impossible rather than silently absorbed.  ``BoundedQueue`` therefore
+exposes ``can_push`` for the ready/valid handshake and raises if a
+component pushes without checking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """A component pushed into a full queue without checking ``can_push``."""
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hardware-style capacity bound.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buffered entries.  ``None`` models an unbounded
+        conceptual link (used only for statistics sinks, never for
+        backpressured datapaths).
+    name:
+        Label used in error messages and debugging dumps.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "queue") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def can_push(self, count: int = 1) -> bool:
+        """True when *count* more entries fit."""
+        if self.capacity is None:
+            return True
+        return len(self._items) + count <= self.capacity
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise QueueFullError(f"push into full queue '{self.name}'")
+        self._items.append(item)
+
+    def peek(self) -> T:
+        return self._items[0]
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def remove(self, item: T) -> None:
+        """Remove a specific entry (used for invalidating queued requests)."""
+        self._items.remove(item)
+
+    def clear(self) -> None:
+        self._items.clear()

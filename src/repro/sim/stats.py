@@ -1,0 +1,90 @@
+"""Statistics helpers shared by the simulator and the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of *values* (the paper reports medians of 50 repetitions)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (paper reports sigma alongside medians)."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+class StatCounter:
+    """Named event counters for a hardware component."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts[name]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"StatCounter({body})"
+
+
+class Histogram:
+    """Latency histogram with summary accessors."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def median(self) -> float:
+        return median(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty histogram")
+        return sum(self._samples) / len(self._samples)
+
+    def stdev(self) -> float:
+        return stdev(self._samples)
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            raise ValueError("percentile of empty histogram")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return float(ordered[idx])

@@ -1,0 +1,116 @@
+"""Non-invasive interconnect tracing.
+
+``TraceRecorder`` wraps the ``send`` method of every TileLink channel in a
+:class:`~repro.uarch.soc.Soc` and records one event per message: cycle,
+channel name, message type, address, and params.  Useful for debugging
+coherence interleavings and for tests that assert *which* messages a
+scenario produces (e.g. "this redundant clean generated no RootRelease").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One message leaving on one channel."""
+
+    cycle: int
+    channel: str
+    message_type: str
+    address: int
+    source: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.cycle:>6}] {self.channel:<10} {self.message_type:<12} "
+            f"addr={self.address:#x} src={self.source} {self.detail}"
+        )
+
+
+def _describe(message) -> str:
+    parts = []
+    for attribute in ("grow", "cap", "shrink", "param"):
+        value = getattr(message, attribute, None)
+        if value is not None:
+            parts.append(f"{attribute}={getattr(value, 'value', value)}")
+    if getattr(message, "data", None) is not None:
+        parts.append(f"data[{len(message.data)}B]")
+    if getattr(message, "dirty", False):
+        parts.append("dirty")
+    return " ".join(parts)
+
+
+class TraceRecorder:
+    """Records channel traffic for a SoC.
+
+    Usage::
+
+        soc = Soc()
+        trace = TraceRecorder.attach(soc)
+        soc.run_programs([...])
+        for event in trace.filter(message_type="ProbeAck"):
+            print(event)
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._attached = False
+
+    @classmethod
+    def attach(cls, soc) -> "TraceRecorder":
+        recorder = cls()
+        for link in soc.l2.links:
+            for name in "abcde":
+                recorder._wrap(getattr(link, name), soc)
+        for channel in (soc.dram.chan_a, soc.dram.chan_c, soc.dram.chan_d):
+            recorder._wrap(channel, soc)
+        recorder._attached = True
+        return recorder
+
+    def _wrap(self, channel, soc) -> None:
+        original: Callable = channel.send
+
+        def traced_send(message, now, _original=original, _channel=channel):
+            self.events.append(
+                TraceEvent(
+                    cycle=soc.engine.cycle,
+                    channel=_channel.name,
+                    message_type=type(message).__name__,
+                    address=getattr(message, "address", 0),
+                    source=getattr(message, "source", -1),
+                    detail=_describe(message),
+                )
+            )
+            return _original(message, now)
+
+        channel.send = traced_send
+
+    # ------------------------------------------------------------- queries
+    def filter(
+        self,
+        message_type: Optional[str] = None,
+        address: Optional[int] = None,
+        channel: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        out = self.events
+        if message_type is not None:
+            out = [e for e in out if e.message_type == message_type]
+        if address is not None:
+            out = [e for e in out if e.address == address]
+        if channel is not None:
+            out = [e for e in out if e.channel.startswith(channel)]
+        return list(out)
+
+    def count(self, **kwargs) -> int:
+        return len(self.filter(**kwargs))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[-limit:]
+        return "\n".join(str(e) for e in events)

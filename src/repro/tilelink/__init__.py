@@ -1,0 +1,62 @@
+"""A TileLink-like coherent interconnect model (TL-C subset).
+
+This package models the parts of TileLink (§2.2) that the paper's
+mechanisms exercise: the five channels A-E, the Acquire/Grant/GrantAck,
+Probe/ProbeAck and Release/ReleaseAck transactions, plus the paper's
+extensions (§5.1, §6):
+
+* ``RootReleaseFlush`` / ``RootReleaseClean`` — channel C messages encoded
+  as ``ProbeAck`` with params ``FLUSH`` / ``CLEAN``;
+* ``RootReleaseAck`` — channel D, encoded as ``ReleaseAck`` with param
+  ``ROOT``;
+* ``GrantDataDirty`` — channel D, a ``GrantData`` that additionally tells
+  the receiving L1 the line is *not* persisted (Skip It, §6).
+
+Channels are beat-accurate: a message carrying a 64 B line over the 16 B
+system bus occupies the channel for four beats (Figure 3 / §5.2 state
+``root_release_data``).
+"""
+
+from repro.tilelink.permissions import (
+    Cap,
+    Grow,
+    Perm,
+    Shrink,
+    grow_target,
+    probe_shrink,
+    shrink_result,
+)
+from repro.tilelink.messages import (
+    Acquire,
+    Grant,
+    GrantAck,
+    GrantData,
+    Probe,
+    ProbeAck,
+    ProbeAckParam,
+    Release,
+    ReleaseAck,
+    ReleaseAckParam,
+)
+from repro.tilelink.channel import BeatChannel
+
+__all__ = [
+    "Perm",
+    "Grow",
+    "Shrink",
+    "Cap",
+    "grow_target",
+    "shrink_result",
+    "probe_shrink",
+    "Acquire",
+    "Grant",
+    "GrantData",
+    "GrantAck",
+    "Probe",
+    "ProbeAck",
+    "ProbeAckParam",
+    "Release",
+    "ReleaseAck",
+    "ReleaseAckParam",
+    "BeatChannel",
+]

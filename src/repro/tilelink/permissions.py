@@ -1,0 +1,120 @@
+"""TileLink permission lattice and transition parameters.
+
+TileLink names the three permission levels after tree positions:
+
+* ``NONE``  (N) - no copy of the line;
+* ``BRANCH`` (B) - read-only copy, possibly shared;
+* ``TRUNK`` (T) - exclusive, writable copy.
+
+``Grow`` parameters annotate Acquire messages (what upgrade the client
+wants), ``Shrink`` parameters annotate Release/ProbeAck messages (what
+downgrade the client performed), and ``Cap`` parameters annotate Probe
+messages (the maximum permission the client may retain).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Perm(enum.IntEnum):
+    """Permission held on a cache line; order matches privilege."""
+
+    NONE = 0
+    BRANCH = 1
+    TRUNK = 2
+
+    @property
+    def readable(self) -> bool:
+        return self is not Perm.NONE
+
+    @property
+    def writable(self) -> bool:
+        return self is Perm.TRUNK
+
+
+class Grow(enum.Enum):
+    """Acquire params: requested permission growth."""
+
+    NtoB = "NtoB"
+    NtoT = "NtoT"
+    BtoT = "BtoT"
+
+
+class Shrink(enum.Enum):
+    """Release/ProbeAck params: performed permission shrink (or report)."""
+
+    TtoB = "TtoB"
+    TtoN = "TtoN"
+    BtoN = "BtoN"
+    # report params: no change, used by ProbeAck when already compliant
+    TtoT = "TtoT"
+    BtoB = "BtoB"
+    NtoN = "NtoN"
+
+
+class Cap(enum.Enum):
+    """Probe params: permission ceiling imposed on the client."""
+
+    toT = "toT"
+    toB = "toB"
+    toN = "toN"
+
+    @property
+    def perm(self) -> Perm:
+        return {Cap.toT: Perm.TRUNK, Cap.toB: Perm.BRANCH, Cap.toN: Perm.NONE}[self]
+
+
+_GROW_TARGET = {
+    Grow.NtoB: Perm.BRANCH,
+    Grow.NtoT: Perm.TRUNK,
+    Grow.BtoT: Perm.TRUNK,
+}
+
+_SHRINK_RESULT = {
+    Shrink.TtoB: Perm.BRANCH,
+    Shrink.TtoN: Perm.NONE,
+    Shrink.BtoN: Perm.NONE,
+    Shrink.TtoT: Perm.TRUNK,
+    Shrink.BtoB: Perm.BRANCH,
+    Shrink.NtoN: Perm.NONE,
+}
+
+
+def grow_target(grow: Grow) -> Perm:
+    """Permission a successful Acquire with param *grow* confers."""
+    return _GROW_TARGET[grow]
+
+
+def shrink_result(shrink: Shrink) -> Perm:
+    """Permission the client retains after a Release/ProbeAck with *shrink*."""
+    return _SHRINK_RESULT[shrink]
+
+
+def is_report(shrink: Shrink) -> bool:
+    """True for report params (XtoX): the client changed nothing.
+
+    Reports must not update a directory: they can be stale.  A
+    RootReleaseClean queued while the line was BRANCH reports ``BtoB``
+    even if the issuing core re-acquired TRUNK before the L2 processes
+    the message; acting on the report would orphan the ownership record.
+    """
+    return shrink in (Shrink.TtoT, Shrink.BtoB, Shrink.NtoN)
+
+
+def probe_shrink(current: Perm, cap: Cap) -> Shrink:
+    """The Shrink/report param a client answers a Probe with.
+
+    A probe capping at or above the current permission elicits a report
+    param (``XtoX``); otherwise the genuine shrink param.
+    """
+    target = min(current, cap.perm)
+    table = {
+        (Perm.TRUNK, Perm.TRUNK): Shrink.TtoT,
+        (Perm.TRUNK, Perm.BRANCH): Shrink.TtoB,
+        (Perm.TRUNK, Perm.NONE): Shrink.TtoN,
+        (Perm.BRANCH, Perm.BRANCH): Shrink.BtoB,
+        (Perm.BRANCH, Perm.NONE): Shrink.BtoN,
+        (Perm.NONE, Perm.NONE): Shrink.NtoN,
+    }
+    return table[(current, Perm(target))]

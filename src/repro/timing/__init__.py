@@ -1,0 +1,21 @@
+"""Functional-with-timing memory hierarchy for throughput experiments.
+
+The cycle-level model in :mod:`repro.uarch` is faithful but too slow in
+Python for the millions of data-structure operations behind Figures 14-16.
+This package provides a *timing model*: the same MESI + skip-bit state
+machine at line granularity, with per-access latency accounting instead of
+per-cycle simulation, plus a virtual-time scheduler that interleaves
+simulated threads by their local clocks.
+
+The model preserves what those figures measure: hit/miss behaviour of
+set-associative L1s and a shared inclusive L2 (so FliT's metadata tables
+contend for cache space, Figure 16), coherence transfer costs between
+threads, asynchronous writeback latency hidden until the next fence, and
+Skip It's L1-level drop of redundant writebacks.
+"""
+
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem, ThreadCtx
+from repro.timing.scheduler import VirtualTimeScheduler
+
+__all__ = ["TimingParams", "TimingSystem", "ThreadCtx", "VirtualTimeScheduler"]

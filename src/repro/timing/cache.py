@@ -1,0 +1,57 @@
+"""Set-associative line-state containers for the timing model.
+
+Same geometry/LRU behaviour as the cycle model's arrays, but keyed by line
+address and storing model-level records instead of SRAM contents.  The
+set-associative capacity is what makes FliT's auxiliary tables *cost*
+something here (Figure 16): their lines evict workload lines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.sim.config import CacheGeometry
+
+R = TypeVar("R")
+
+
+class LineCache(Generic[R]):
+    """LRU set-associative map: line address -> record."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: List["OrderedDict[int, R]"] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+
+    def _set_of(self, address: int) -> "OrderedDict[int, R]":
+        return self._sets[self.geometry.set_index(address)]
+
+    def get(self, address: int) -> Optional[R]:
+        return self._set_of(address).get(address)
+
+    def touch(self, address: int) -> None:
+        self._set_of(address).move_to_end(address)
+
+    def put(self, address: int, record: R) -> Optional[Tuple[int, R]]:
+        """Insert (MRU); return the evicted (address, record) if the set spilled."""
+        bucket = self._set_of(address)
+        bucket[address] = record
+        bucket.move_to_end(address)
+        if len(bucket) > self.geometry.ways:
+            return bucket.popitem(last=False)
+        return None
+
+    def remove(self, address: int) -> Optional[R]:
+        return self._set_of(address).pop(address, None)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._set_of(address)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    def items(self) -> Iterator[Tuple[int, R]]:
+        for bucket in self._sets:
+            yield from bucket.items()

@@ -1,0 +1,52 @@
+"""Latency parameters of the timing model.
+
+Calibrated against the cycle-level model of :mod:`repro.uarch` (and §7.2):
+a writeback of a dirty line costs ~100 cycles end to end; an L1 hit a few
+cycles; a fill from DRAM ~110.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.config import CacheGeometry
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Knobs of the functional-with-timing hierarchy."""
+
+    num_threads: int = 2
+    l1: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=32 * 1024, ways=8)
+    )
+    l2: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=512 * 1024, ways=8)
+    )
+    #: optional victim L3 between L2 and memory — the "deeper cache
+    #: hierarchy (i.e. L3 or L4)" of §7.4, where Skip It's savings grow
+    l3: Optional[CacheGeometry] = None
+    skip_it: bool = True
+
+    # access latencies (cycles)
+    l1_hit: int = 3
+    l2_hit: int = 25  # L1 miss, L2 hit
+    mem_access: int = 110  # L1+L2 miss, DRAM fill
+    l3_hit: int = 45  # L1+L2 miss served by the optional L3
+    l3_extra_writeback: int = 45  # extra hop a writeback pays through L3
+    probe_extra: int = 20  # extra cost when another L1 must be probed
+    upgrade: int = 15  # BRANCH -> TRUNK without data transfer
+
+    # writeback-instruction costs
+    cbo_issue: int = 8  # enqueue into the flush unit (async)
+    cbo_skip: int = 3  # Skip It drop at the L1: the CBO.X still travels
+    # the pipeline to the metadata check, about an L1 hit's worth (§7.4)
+    cbo_l2_roundtrip: int = 45  # clean line: L1->L2->ack, no DRAM write
+    cbo_dram_writeback: int = 100  # dirty data travels to DRAM
+    fence_base: int = 12  # fence cost when nothing is outstanding
+    num_fshrs: int = 8  # writebacks overlapping per thread
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes

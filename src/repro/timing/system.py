@@ -1,0 +1,434 @@
+"""The functional-with-timing memory system.
+
+Each simulated thread owns a :class:`ThreadCtx` (its virtual clock plus its
+outstanding asynchronous writebacks).  All architectural state lives in
+:class:`TimingSystem`:
+
+* ``arch`` — the architecturally-current value of every written word;
+* per-thread L1 state (permission, dirty, skip bit) in set-associative
+  LRU caches;
+* shared inclusive L2 state (dirty bit, full-map directory, and the word
+  values its copy of the line holds);
+* ``persisted`` — what main memory (the persistence domain) holds; a
+  simulated crash keeps exactly this.
+
+Writeback semantics follow §4: a CBO.X snapshots the line's words at issue
+time into the persistence domain (writes *before* the writeback are
+covered, later writes are not), completes asynchronously after a latency
+that depends on where dirty data was found, and fences wait for all of the
+issuing thread's outstanding writebacks.  Skip It (§6) drops a CBO.X at
+the L1 for ``cbo_skip`` cycles when the line hits clean with the skip bit
+set; the skip bit is set on fills from a clean L2 (GrantData) and cleared
+on fills from a dirty L2 (GrantDataDirty), on re-dirtying stores, and on
+dirty-data probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.coherence.directory import DirectoryEntry
+from repro.sim.stats import StatCounter
+from repro.timing.cache import LineCache
+from repro.timing.params import TimingParams
+from repro.tilelink.permissions import Perm
+
+
+@dataclass
+class L1Rec:
+    perm: Perm
+    dirty: bool = False
+    skip: bool = False
+
+
+@dataclass
+class L2Rec:
+    dirty: bool = False
+    directory: DirectoryEntry = field(default_factory=DirectoryEntry)
+    values: Dict[int, int] = field(default_factory=dict)  # this copy's words
+
+
+@dataclass
+class L3Rec:
+    """Victim-L3 record (optional deeper hierarchy, §7.4)."""
+
+    dirty: bool = False
+    values: Dict[int, int] = field(default_factory=dict)
+
+
+class ThreadCtx:
+    """One simulated hardware thread: clock + outstanding writebacks."""
+
+    def __init__(self, system: "TimingSystem", tid: int) -> None:
+        self.system = system
+        self.tid = tid
+        self.now = 0
+        self.outstanding: Deque[int] = deque()  # writeback completion times
+        self.ops = 0
+
+    # convenience wrappers --------------------------------------------------
+    def load(self, address: int) -> int:
+        return self.system.load(self, address)
+
+    def store(self, address: int, value: int) -> None:
+        self.system.store(self, address, value)
+
+    def cas(self, address: int, expected: int, new: int) -> bool:
+        return self.system.cas(self, address, expected, new)
+
+    def clean(self, address: int) -> None:
+        self.system.cbo(self, address, invalidate=False)
+
+    def flush(self, address: int) -> None:
+        self.system.cbo(self, address, invalidate=True)
+
+    def fence(self) -> None:
+        self.system.fence(self)
+
+
+class TimingSystem:
+    """Shared memory hierarchy for N virtual-time threads."""
+
+    def __init__(self, params: Optional[TimingParams] = None) -> None:
+        self.params = params or TimingParams()
+        p = self.params
+        self.l1s: List[LineCache[L1Rec]] = [
+            LineCache(p.l1) for _ in range(p.num_threads)
+        ]
+        self.l2: LineCache[L2Rec] = LineCache(p.l2)
+        self.l3: Optional[LineCache[L3Rec]] = (
+            LineCache(p.l3) if p.l3 is not None else None
+        )
+        self.arch: Dict[int, int] = {}
+        self.persisted: Dict[int, int] = {}
+        self._line_words: Dict[int, Set[int]] = {}
+        self.threads = [ThreadCtx(self, tid) for tid in range(p.num_threads)]
+        self.stats = StatCounter()
+
+    # ------------------------------------------------------------- helpers
+    def line_of(self, address: int) -> int:
+        return address - (address % self.params.line_bytes)
+
+    def _words_of(self, line: int) -> Set[int]:
+        return self._line_words.get(line, set())
+
+    def _arch_line(self, line: int) -> Dict[int, int]:
+        return {w: self.arch[w] for w in self._words_of(line) if w in self.arch}
+
+    def _persisted_line(self, line: int) -> Dict[int, int]:
+        return {
+            w: self.persisted[w] for w in self._words_of(line) if w in self.persisted
+        }
+
+    # ------------------------------------------------------ L2 maintenance
+    def _l2_fetch(self, line: int) -> L2Rec:
+        """Install *line* in L2 (from the victim L3 if present, else memory),
+        inclusive-evicting on overflow."""
+        l3rec = self.l3.remove(line) if self.l3 is not None else None
+        if l3rec is not None:
+            rec = L2Rec(dirty=l3rec.dirty, values=dict(l3rec.values))
+            self.stats.inc("l3_hits")
+        else:
+            rec = L2Rec(dirty=False, values=self._persisted_line(line))
+        evicted = self.l2.put(line, rec)
+        if evicted is not None:
+            self._l2_evict(*evicted)
+        return rec
+
+    def _fill_cost(self, line: int) -> int:
+        """Latency of an L2 miss: L3 hit beats the DRAM round trip."""
+        if self.l3 is not None and line in self.l3:
+            return self.params.l3_hit
+        return self.params.mem_access
+
+    def _l2_evict(self, line: int, rec: L2Rec) -> None:
+        """Inclusive eviction: revoke L1 copies, write back if dirty."""
+        for tid in list(rec.directory.sharers):
+            l1rec = self.l1s[tid].get(line)
+            if l1rec is not None:
+                if l1rec.dirty:
+                    rec.values.update(self._arch_line(line))
+                    rec.dirty = True
+                self.l1s[tid].remove(line)
+        if self.l3 is not None:
+            spilled = self.l3.put(line, L3Rec(dirty=rec.dirty, values=rec.values))
+            if spilled is not None:
+                victim_line, victim = spilled
+                if victim.dirty:
+                    self.persisted.update(victim.values)
+                    self.stats.inc("l3_evict_writebacks")
+            self.stats.inc("l2_evict_to_l3")
+        elif rec.dirty:
+            self.persisted.update(rec.values)
+            self.stats.inc("l2_evict_writebacks")
+        else:
+            self.stats.inc("l2_evict_drops")
+
+    def _merge_owner_dirty(self, line: int, rec: L2Rec, keep_owner: bool) -> bool:
+        """Pull dirty data from the TRUNK owner (if any) into the L2 copy.
+
+        Returns True when a probe transfer happened.  ``keep_owner`` keeps
+        the owner's copy as a BRANCH (clean) reader; otherwise the copy is
+        revoked.
+        """
+        owner = rec.directory.owner
+        if owner is None:
+            return False
+        l1rec = self.l1s[owner].get(line)
+        transferred = False
+        if l1rec is not None:
+            if l1rec.dirty:
+                rec.values.update(self._arch_line(line))
+                rec.dirty = True
+                l1rec.dirty = False
+                l1rec.skip = False  # dirty above us: not persisted (§6.2)
+                transferred = True
+            if keep_owner:
+                l1rec.perm = Perm.BRANCH
+            else:
+                self.l1s[owner].remove(line)
+        rec.directory.downgrade(owner, Perm.BRANCH if keep_owner else Perm.NONE)
+        return transferred
+
+    def _revoke_sharers(self, line: int, rec: L2Rec, keep: Optional[int]) -> None:
+        for tid in list(rec.directory.sharers):
+            if tid == keep:
+                continue
+            l1rec = self.l1s[tid].get(line)
+            if l1rec is not None:
+                if l1rec.dirty:
+                    rec.values.update(self._arch_line(line))
+                    rec.dirty = True
+                self.l1s[tid].remove(line)
+            rec.directory.downgrade(tid, Perm.NONE)
+
+    # ------------------------------------------------------------ accesses
+    def _fill(self, ctx: ThreadCtx, line: int, want_write: bool) -> int:
+        """L1 miss path; returns the access cost."""
+        rec = self.l2.get(line)
+        if rec is None:
+            cost = self._fill_cost(line)
+            rec = self._l2_fetch(line)
+            self.stats.inc("mem_fills")
+        else:
+            cost = self.params.l2_hit
+            self.l2.touch(line)
+            self.stats.inc("l2_hits")
+        if want_write:
+            if self._merge_owner_dirty(line, rec, keep_owner=False):
+                cost += self.params.probe_extra
+            self._revoke_sharers(line, rec, keep=ctx.tid)
+            perm = Perm.TRUNK
+        else:
+            if self._merge_owner_dirty(line, rec, keep_owner=True):
+                cost += self.params.probe_extra
+            perm = Perm.TRUNK if rec.directory.idle else Perm.BRANCH
+        # GrantData vs GrantDataDirty decides the skip bit (§6.1)
+        skip = self.params.skip_it and not rec.dirty
+        l1rec = L1Rec(perm=perm, dirty=want_write, skip=skip and not want_write)
+        evicted = self.l1s[ctx.tid].put(line, l1rec)
+        if evicted is not None:
+            self._l1_evict(ctx.tid, *evicted)
+            cost += 5
+        rec.directory.grant(ctx.tid, perm)
+        return cost
+
+    def _l1_evict(self, tid: int, line: int, l1rec: L1Rec) -> None:
+        rec = self.l2.get(line)
+        if rec is None:  # pragma: no cover - inclusivity guarantees presence
+            raise RuntimeError("L1 line absent from inclusive L2")
+        if l1rec.dirty:
+            rec.values.update(self._arch_line(line))
+            rec.dirty = True
+            self.stats.inc("l1_evict_writebacks")
+        rec.directory.downgrade(tid, Perm.NONE)
+
+    def load(self, ctx: ThreadCtx, address: int) -> int:
+        line = self.line_of(address)
+        self.stats.inc("loads")
+        l1rec = self.l1s[ctx.tid].get(line)
+        if l1rec is not None:
+            self.l1s[ctx.tid].touch(line)
+            ctx.now += self.params.l1_hit
+            self.stats.inc("l1_hits")
+        else:
+            ctx.now += self._fill(ctx, line, want_write=False)
+            self.stats.inc("l1_misses")
+        return self.arch.get(address, 0)
+
+    def store(self, ctx: ThreadCtx, address: int, value: int) -> None:
+        line = self.line_of(address)
+        self.stats.inc("stores")
+        l1rec = self.l1s[ctx.tid].get(line)
+        if l1rec is not None and l1rec.perm is Perm.TRUNK:
+            self.l1s[ctx.tid].touch(line)
+            ctx.now += self.params.l1_hit
+            self.stats.inc("l1_hits")
+        elif l1rec is not None:  # upgrade BRANCH -> TRUNK
+            rec = self.l2.get(line)
+            assert rec is not None
+            self._revoke_sharers(line, rec, keep=ctx.tid)
+            rec.directory.downgrade(ctx.tid, Perm.NONE)
+            rec.directory.grant(ctx.tid, Perm.TRUNK)
+            l1rec.perm = Perm.TRUNK
+            ctx.now += self.params.upgrade
+            self.stats.inc("upgrades")
+        else:
+            ctx.now += self._fill(ctx, line, want_write=True)
+            self.stats.inc("l1_misses")
+        l1rec = self.l1s[ctx.tid].get(line)
+        assert l1rec is not None
+        l1rec.dirty = True
+        l1rec.skip = False  # a dirty line is never persisted
+        self.arch[address] = value
+        self._line_words.setdefault(line, set()).add(address)
+
+    def cas(self, ctx: ThreadCtx, address: int, expected: int, new: int) -> bool:
+        """Compare-and-swap: acquires write permission, then swaps atomically.
+
+        Atomicity is trivially satisfied because operations are atomic at
+        the model level; the cost is a write access plus a small ALU tax.
+        """
+        current = self.arch.get(address, 0)
+        if current != expected:
+            # failed CAS still acquired the line for writing
+            self.store(ctx, address, current)
+            ctx.now += 2
+            self.stats.inc("cas_failures")
+            return False
+        self.store(ctx, address, new)
+        ctx.now += 2
+        self.stats.inc("cas_successes")
+        return True
+
+    # ----------------------------------------------------------- writeback
+    def cbo(self, ctx: ThreadCtx, address: int, invalidate: bool) -> None:
+        """CBO.FLUSH (*invalidate*) / CBO.CLEAN, asynchronous per §4."""
+        line = self.line_of(address)
+        l1 = self.l1s[ctx.tid]
+        l1rec = l1.get(line)
+        # Skip It (§6.1): hit + clean + skip set => drop before the queue.
+        if (
+            self.params.skip_it
+            and l1rec is not None
+            and not l1rec.dirty
+            and l1rec.skip
+        ):
+            ctx.now += self.params.cbo_skip
+            self.stats.inc("cbo_skipped")
+            return
+        ctx.now += self.params.cbo_issue
+        self.stats.inc("cbo_issued")
+        rec = self.l2.get(line)
+        latency = self.params.cbo_l2_roundtrip
+        # a deeper hierarchy lengthens every writeback's path (§7.4):
+        # requests traverse the L3 on their way to the persistence domain
+        l3_extra = self.params.l3_extra_writeback if self.l3 is not None else 0
+        latency += l3_extra
+        if l1rec is not None and l1rec.dirty:
+            # dirty in our L1: full path to DRAM
+            assert rec is not None
+            rec.values.update(self._arch_line(line))
+            l1rec.dirty = False
+            latency = self.params.cbo_dram_writeback + l3_extra
+            self._persist_l2(line, rec)
+            self.stats.inc("cbo_dram")
+        elif rec is not None and (
+            rec.dirty or rec.directory.owner not in (None, ctx.tid)
+        ):
+            # dirty somewhere else in the hierarchy: probe/merge, then DRAM
+            if self._merge_owner_dirty(line, rec, keep_owner=not invalidate):
+                latency = (
+                    self.params.cbo_dram_writeback
+                    + self.params.probe_extra
+                    + l3_extra
+                )
+            if rec.dirty:
+                latency = max(
+                    latency, self.params.cbo_dram_writeback + l3_extra
+                )
+                self._persist_l2(line, rec)
+                self.stats.inc("cbo_dram")
+            else:
+                self.stats.inc("cbo_l2_clean")
+        else:
+            # persisted already: the LLC trivially skips the DRAM write
+            self.stats.inc("cbo_l2_clean")
+        if invalidate:
+            if rec is not None:
+                self._revoke_sharers(line, rec, keep=None)
+                self.l2.remove(line)
+            if self.l3 is not None:
+                l3rec = self.l3.remove(line)
+                if l3rec is not None and l3rec.dirty:
+                    # flushing a line dirty only in L3 persists it
+                    self.persisted.update(l3rec.values)
+        elif l1rec is not None:
+            # after a clean the resident line is persisted (§6.2)
+            l1rec.skip = self.params.skip_it
+        self._issue_async(ctx, latency)
+
+    def _persist_l2(self, line: int, rec: L2Rec) -> None:
+        self.persisted.update(rec.values)
+        rec.dirty = False
+
+    def _issue_async(self, ctx: ThreadCtx, latency: int) -> None:
+        """Track an asynchronous writeback, bounded by the FSHR count."""
+        start = ctx.now
+        if len(ctx.outstanding) >= self.params.num_fshrs:
+            start = max(start, ctx.outstanding.popleft())
+        ctx.outstanding.append(start + latency)
+
+    def fence(self, ctx: ThreadCtx) -> None:
+        """FENCE: wait for every outstanding writeback of this thread (§5.3)."""
+        if ctx.outstanding:
+            ctx.now = max(ctx.now, max(ctx.outstanding))
+            ctx.outstanding.clear()
+        ctx.now += self.params.fence_base
+        self.stats.inc("fences")
+
+    # ------------------------------------------------------------ steady state
+    def persist_all(self) -> None:
+        """Declare the current state fully persisted (benchmark setup aid).
+
+        Copies every architectural value into the persistence domain,
+        clears all dirty bits, and sets every resident line's skip bit
+        (with Skip It enabled).  Benchmarks call this after prefilling so
+        each configuration starts from the same warm, persisted state
+        instead of measuring the prefill's writeback transient.
+        """
+        self.persisted.update(self.arch)
+        for _, rec in self.l2.items():
+            rec.values.update(
+                {w: self.arch[w] for w in rec.values if w in self.arch}
+            )
+            rec.dirty = False
+        if self.l3 is not None:
+            for _, l3rec in self.l3.items():
+                if l3rec.dirty:
+                    self.persisted.update(l3rec.values)
+                    l3rec.dirty = False
+        for l1 in self.l1s:
+            for line, l1rec in l1.items():
+                if l1rec.dirty:
+                    l2rec = self.l2.get(line)
+                    if l2rec is not None:
+                        l2rec.values.update(self._arch_line(line))
+                l1rec.dirty = False
+                l1rec.skip = self.params.skip_it
+
+    # ---------------------------------------------------------------- crash
+    def crash(self) -> Dict[int, int]:
+        """Drop all cache state; return what survived (the persisted words)."""
+        p = self.params
+        self.l1s = [LineCache(p.l1) for _ in range(p.num_threads)]
+        self.l2 = LineCache(p.l2)
+        if self.l3 is not None:
+            self.l3 = LineCache(p.l3)
+        self.arch = dict(self.persisted)
+        for ctx in self.threads:
+            ctx.outstanding.clear()
+        self.stats.inc("crashes")
+        return dict(self.persisted)

@@ -1,0 +1,237 @@
+"""Simplified BOOM core front-end: ROB + LSU with LDQ/STQ semantics.
+
+The model keeps the rules that matter for the paper's mechanisms
+(§3.1-§3.2, §5.1, §5.3):
+
+* loads fire out of order as soon as they have no older unresolved
+  same-line STQ dependence and no older pending fence;
+* stores and CBO.X are STQ requests: they fire only when every older
+  instruction has completed (the ROB head points at them), hence in
+  program order;
+* a CBO.X is *complete* as soon as the flush unit buffers (or drops) it —
+  the ROB may commit past it while the writeback proceeds asynchronously;
+* a fence completes only when every older instruction is done, the L1 has
+  no in-flight fills, **and** the flush counter is zero (``flushing`` low,
+  §5.3);
+* a nacked request is retried a couple of cycles later, as the LSU does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.config import SoCParams
+from repro.sim.engine import Engine
+from repro.sim.stats import StatCounter
+from repro.uarch.l1 import FireStatus, L1DataCache
+from repro.uarch.requests import MemOp, MemRequest
+
+RETRY_DELAY = 2
+
+
+@dataclass
+class Instr:
+    """One instruction of a core's (pre-decoded) program."""
+
+    op: MemOp
+    address: int = 0
+    data: Optional[int] = None
+
+    @staticmethod
+    def load(address: int) -> "Instr":
+        return Instr(MemOp.LOAD, address)
+
+    @staticmethod
+    def store(address: int, data: int) -> "Instr":
+        return Instr(MemOp.STORE, address, data)
+
+    @staticmethod
+    def clean(address: int) -> "Instr":
+        return Instr(MemOp.CBO_CLEAN, address)
+
+    @staticmethod
+    def flush(address: int) -> "Instr":
+        return Instr(MemOp.CBO_FLUSH, address)
+
+    @staticmethod
+    def inval(address: int) -> "Instr":
+        return Instr(MemOp.CBO_INVAL, address)
+
+    @staticmethod
+    def zero(address: int) -> "Instr":
+        return Instr(MemOp.CBO_ZERO, address)
+
+    @staticmethod
+    def fence() -> "Instr":
+        return Instr(MemOp.FENCE)
+
+
+class _Status(enum.Enum):
+    WAITING = "waiting"
+    FIRED = "fired"
+    DONE = "done"
+
+
+@dataclass
+class _Slot:
+    instr: Instr
+    status: _Status = _Status.WAITING
+    retry_at: int = 0
+    done_at: Optional[int] = None  # for fixed-latency completions
+    req_id: Optional[int] = None
+    value: Optional[int] = None  # load result
+
+
+class Core:
+    """One hardware thread executing a straight-line memory program."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        l1: L1DataCache,
+        params: SoCParams,
+        rob_entries: int = 32,
+    ) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.l1 = l1
+        self.params = params
+        self.rob_entries = rob_entries
+        self.slots: List[_Slot] = []
+        self.head = 0
+        self.stats = StatCounter()
+        self.finish_cycle: Optional[int] = None
+        self._by_req: Dict[int, _Slot] = {}
+        l1.resp_sink = self
+        engine.register(self)
+
+    # ------------------------------------------------------------- program
+    def run_program(self, program: List[Instr]) -> None:
+        """Load a fresh program; the engine then executes it."""
+        self.slots = [_Slot(instr) for instr in program]
+        self.head = 0
+        self.finish_cycle = None
+        self._by_req.clear()
+
+    @property
+    def done(self) -> bool:
+        return self.head >= len(self.slots)
+
+    def load_result(self, index: int) -> Optional[int]:
+        """Value returned by the load at program position *index*."""
+        return self.slots[index].value
+
+    # ---------------------------------------------------------------- tick
+    def tick(self, cycle: int) -> None:
+        if self.done:
+            return
+        self._complete_timed(cycle)
+        self._fire_window(cycle)
+        self._commit(cycle)
+
+    def _complete_timed(self, cycle: int) -> None:
+        for slot in self.slots[self.head : self.head + self.rob_entries]:
+            if (
+                slot.status is _Status.FIRED
+                and slot.done_at is not None
+                and cycle >= slot.done_at
+            ):
+                slot.status = _Status.DONE
+                self.engine.note_progress()
+
+    def _fire_window(self, cycle: int) -> None:
+        fired = 0
+        window = self.slots[self.head : self.head + self.rob_entries]
+        for offset, slot in enumerate(window):
+            if fired >= self.params.lsu_fire_width:
+                break
+            if slot.status is not _Status.WAITING or cycle < slot.retry_at:
+                continue
+            index = self.head + offset
+            if slot.instr.op is MemOp.FENCE:
+                self._try_fence(index, slot, cycle)
+                continue
+            if not self._eligible(index, slot):
+                continue
+            self._fire(slot, cycle)
+            fired += 1
+
+    def _eligible(self, index: int, slot: _Slot) -> bool:
+        instr = slot.instr
+        if instr.op is MemOp.LOAD:
+            line = self.params.l1.line_address(instr.address)
+            for older in self.slots[self.head : index]:
+                if older.status is _Status.DONE:
+                    continue
+                o = older.instr
+                if o.op is MemOp.FENCE:
+                    return False
+                if o.op.is_stq and o.op is not MemOp.FENCE:
+                    if self.params.l1.line_address(o.address) == line:
+                        return False
+            return True
+        # STQ requests (stores, CBO.X) fire at the ROB head, in order
+        return all(
+            older.status is _Status.DONE for older in self.slots[self.head : index]
+        )
+
+    def _try_fence(self, index: int, slot: _Slot, cycle: int) -> None:
+        """Fence commit conditions (§5.3): prior ops done, no pending flushes."""
+        if not all(
+            older.status is _Status.DONE for older in self.slots[self.head : index]
+        ):
+            return
+        if self.l1.flush_unit.flushing:
+            self.stats.inc("fence_wait_flush")
+            return
+        if any(m.busy for m in self.l1.mshrs):
+            self.stats.inc("fence_wait_mshr")
+            return
+        if not self.l1.wbu.wb_rdy:
+            return
+        slot.status = _Status.DONE
+        self.stats.inc("fences")
+        self.engine.note_progress()
+
+    def _fire(self, slot: _Slot, cycle: int) -> None:
+        instr = slot.instr
+        request = MemRequest(op=instr.op, address=instr.address, data=instr.data)
+        outcome = self.l1.fire(request, cycle)
+        if outcome.status is FireStatus.NACK:
+            slot.retry_at = cycle + RETRY_DELAY
+            self.stats.inc("nacks")
+            return
+        self.engine.note_progress()
+        slot.status = _Status.FIRED
+        slot.req_id = request.req_id
+        if outcome.status is FireStatus.OK_NOW:
+            if instr.op is MemOp.LOAD:
+                slot.value = outcome.value
+                slot.done_at = cycle + self.params.latencies.l1_hit
+            else:
+                # stores/CBOs are complete once the cache accepts them
+                slot.done_at = cycle + 1
+        else:  # OK_LATER: load data arrives via mem_response
+            self._by_req[request.req_id] = slot
+        self.stats.inc(instr.op.value.replace(".", "_"))
+
+    def _commit(self, cycle: int) -> None:
+        while self.head < len(self.slots) and (
+            self.slots[self.head].status is _Status.DONE
+        ):
+            self.head += 1
+            self.engine.note_progress()
+        if self.done and self.finish_cycle is None:
+            self.finish_cycle = cycle
+
+    # --------------------------------------------------------- L1 callback
+    def mem_response(self, req_id: int, value: int) -> None:
+        slot = self._by_req.pop(req_id, None)
+        if slot is None:
+            return
+        slot.value = value
+        slot.status = _Status.DONE
+        self.engine.note_progress()

@@ -1,0 +1,337 @@
+"""The SonicBOOM L1 data cache with the paper's flush unit (Figure 8).
+
+The cache is non-blocking (MSHRs with replay queues, §3.3), writeback
+(writeback unit + probe unit) and hosts the flush unit of §5 plus the
+Skip It bit of §6.  The LSU fires requests through :meth:`L1DataCache.fire`
+and receives an immediate accept/nack; load data for misses is delivered
+later through the registered response sink, mirroring the replay mechanism
+of the real design.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.flush_queue import CboKind
+from repro.core.flush_unit import FlushUnit, OfferResult
+from repro.sim.config import SoCParams
+from repro.sim.engine import Engine
+from repro.sim.stats import StatCounter
+from repro.tilelink.channel import BeatChannel
+from repro.tilelink.messages import (
+    Acquire,
+    GrantAck,
+    GrantData,
+    Probe,
+    ReleaseAck,
+    ReleaseAckParam,
+)
+from repro.tilelink.permissions import Grow, Perm, grow_target
+from repro.uarch.arrays import DataArray, MetaArray
+from repro.uarch.mshr import Mshr, MshrState
+from repro.uarch.probe_unit import ProbeUnit
+from repro.uarch.requests import MemOp, MemRequest
+from repro.uarch.wbu import WritebackUnit
+
+
+class FireStatus(enum.Enum):
+    OK_NOW = "ok_now"  # complete after the L1 hit latency
+    OK_LATER = "ok_later"  # load miss buffered; data arrives via the sink
+    NACK = "nack"  # LSU must retry later
+
+
+@dataclass
+class FireOutcome:
+    status: FireStatus
+    value: Optional[int] = None  # load data for OK_NOW loads
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not FireStatus.NACK
+
+
+class L1DataCache:
+    """One core's L1 data cache, including the flush unit."""
+
+    def __init__(self, engine: Engine, agent_id: int, params: SoCParams) -> None:
+        self.engine = engine
+        self.agent_id = agent_id
+        self.params = params
+        self.geometry = params.l1
+        self.meta = MetaArray(self.geometry)
+        self.data = DataArray(self.geometry)
+        self.flush_unit = FlushUnit(self, params)
+        self.mshrs: List[Mshr] = [
+            Mshr(i, params.rpq_depth) for i in range(params.num_l1_mshrs)
+        ]
+        self.wbu = WritebackUnit(self)
+        self.probe_unit = ProbeUnit(self)
+        self.stats = StatCounter()
+        self.resp_sink = None  # set by the owning core
+        self._reserved_ways: Set[Tuple[int, int]] = set()
+        self._mshr_victim_addr = {}
+        # channels, wired by the SoC
+        self.chan_a: Optional[BeatChannel] = None
+        self.chan_b: Optional[BeatChannel] = None
+        self.chan_c: Optional[BeatChannel] = None
+        self.chan_d: Optional[BeatChannel] = None
+        self.chan_e: Optional[BeatChannel] = None
+        engine.register(self)
+
+    def connect(self, a, b, c, d, e) -> None:
+        """Attach the five TileLink channels toward the L2 (§2.2)."""
+        self.chan_a, self.chan_b, self.chan_c, self.chan_d, self.chan_e = a, b, c, d, e
+
+    # -------------------------------------------------------- channel glue
+    def send_channel_c(self, message, cycle: int) -> None:
+        self.chan_c.send(message, cycle)
+
+    def pop_channel_b(self, cycle: int) -> Optional[Probe]:
+        return self.chan_b.pop_ready(cycle)
+
+    def flush_unit_evicted_line(self, address: int) -> None:
+        """Hook invoked when a CBO.FLUSH invalidates a resident line."""
+        self.stats.inc("flush_invalidations")
+
+    def mshr_blocks_probe(self, address: int) -> bool:
+        """§3.3 ``mshr_rdy``: stall probes while committed stores replay."""
+        return any(m.matches(address) and m.replaying for m in self.mshrs)
+
+    # ------------------------------------------------------------ LSU port
+    def fire(self, request: MemRequest, cycle: int) -> FireOutcome:
+        """Fire one request from the LSU into the cache."""
+        line = self.geometry.line_address(request.address)
+        if request.op.is_cbo:
+            return self._fire_cbo(request, line)
+        if request.op is MemOp.LOAD:
+            return self._fire_load(request, line)
+        if request.op in (MemOp.STORE, MemOp.CBO_ZERO):
+            return self._fire_store(request, line)
+        raise ValueError(f"L1 cannot serve {request.op}")
+
+    def _fire_cbo(self, request: MemRequest, line: int) -> FireOutcome:
+        # A CBO.X racing this core's own in-flight fill of the line would
+        # sample metadata that the grant is about to change (and could
+        # miss stores buffered in the MSHR's RPQ); nack conservatively.
+        if any(m.matches(line) for m in self.mshrs):
+            self.stats.inc("cbo_nack_mshr")
+            return FireOutcome(FireStatus.NACK)
+        hit = self.meta.lookup(line)
+        kind = {
+            MemOp.CBO_CLEAN: CboKind.CLEAN,
+            MemOp.CBO_FLUSH: CboKind.FLUSH,
+            MemOp.CBO_INVAL: CboKind.INVAL,
+        }[request.op]
+        result = self.flush_unit.offer(line, kind, hit)
+        if result is OfferResult.NACK:
+            return FireOutcome(FireStatus.NACK)
+        self.stats.inc(f"cbo_{result.value}")
+        return FireOutcome(FireStatus.OK_NOW)
+
+    def _fire_load(self, request: MemRequest, line: int) -> FireOutcome:
+        hit = self.meta.lookup(line)
+        if hit is not None:
+            way, entry = hit
+            set_idx = self.geometry.set_index(line)
+            value = self.data.read_word(set_idx, way, request.address - line)
+            self.meta.touch(line, way)
+            self.stats.inc("load_hits")
+            return FireOutcome(FireStatus.OK_NOW, value=value)
+        forwarded = self.flush_unit.load_forward(line)
+        if forwarded is not None:
+            offset = request.address - line
+            value = int.from_bytes(forwarded[offset : offset + 8], "little")
+            self.stats.inc("load_fshr_forwards")
+            return FireOutcome(FireStatus.OK_NOW, value=value)
+        if self.flush_unit.load_must_wait(line):
+            self.stats.inc("load_nack_flush")
+            return FireOutcome(FireStatus.NACK)
+        self.stats.inc("load_misses")
+        return self._miss(request, line, want=Perm.BRANCH)
+
+    def _fire_store(self, request: MemRequest, line: int) -> FireOutcome:
+        if self.flush_unit.pending_for(line) and not self.flush_unit.store_may_proceed(
+            line
+        ):
+            self.stats.inc("store_nack_flush")
+            return FireOutcome(FireStatus.NACK)
+        hit = self.meta.lookup(line)
+        if hit is not None and hit[1].perm is Perm.TRUNK:
+            way, entry = hit
+            set_idx = self.geometry.set_index(line)
+            if request.op is MemOp.CBO_ZERO:
+                # cbo.zero: write a whole line of zeros (CMO extension)
+                self.data.write_line(set_idx, way, bytes(self.geometry.line_bytes))
+            else:
+                self.data.write_word(
+                    set_idx, way, request.address - line, request.data
+                )
+            entry.dirty = True
+            entry.skip = False  # a dirty line is never persisted (§6.2)
+            self.meta.touch(line, way)
+            self.stats.inc("store_hits")
+            return FireOutcome(FireStatus.OK_NOW)
+        self.stats.inc("store_upgrades" if hit else "store_misses")
+        return self._miss(request, line, want=Perm.TRUNK)
+
+    def _miss(self, request: MemRequest, line: int, want: Perm) -> FireOutcome:
+        later = FireStatus.OK_LATER if request.op is MemOp.LOAD else FireStatus.OK_NOW
+        for mshr in self.mshrs:
+            if mshr.matches(line):
+                if mshr.can_accept_secondary(request):
+                    mshr.push_secondary(request)
+                    self.stats.inc("mshr_secondary")
+                    return FireOutcome(later)
+                self.stats.inc("mshr_secondary_nack")
+                return FireOutcome(FireStatus.NACK)
+        mshr = next((m for m in self.mshrs if not m.busy), None)
+        if mshr is None:
+            self.stats.inc("mshr_full_nack")
+            return FireOutcome(FireStatus.NACK)
+        hit = self.meta.lookup(line)
+        if hit is not None:
+            # permission upgrade (BRANCH -> TRUNK); the line keeps its way
+            victim_way = hit[0]
+            needs_evict = False
+            grow = Grow.BtoT
+        else:
+            set_idx = self.geometry.set_index(line)
+            reserved = {w for (s, w) in self._reserved_ways if s == set_idx}
+            victim_way = self.meta.victim_way(line, exclude=reserved)
+            if victim_way is None:
+                self.stats.inc("no_way_nack")
+                return FireOutcome(FireStatus.NACK)
+            victim_entry = self.meta.way_entry(line, victim_way)
+            needs_evict = victim_entry.valid
+            if needs_evict and not self.flush_unit.flush_rdy:
+                # §5.4.2: flush_rdy blocks the MSHRs from picking a victim
+                self.stats.inc("evict_nack_flush_rdy")
+                return FireOutcome(FireStatus.NACK)
+            grow = Grow.NtoT if want is Perm.TRUNK else Grow.NtoB
+        set_idx = self.geometry.set_index(line)
+        self._reserved_ways.add((set_idx, victim_way))
+        if needs_evict:
+            victim_entry = self.meta.way_entry(line, victim_way)
+            self._mshr_victim_addr[mshr.index] = self.meta.address_of(
+                set_idx, victim_entry
+            )
+        mshr.allocate(request, line, want, victim_way, needs_evict, grow)
+        self.stats.inc("mshr_allocated")
+        return FireOutcome(later)
+
+    # ---------------------------------------------------------------- tick
+    def tick(self, cycle: int) -> None:
+        self._drain_channel_d(cycle)
+        self.probe_unit.tick(cycle)
+        self.flush_unit.tick(cycle)
+        self._step_mshrs(cycle)
+
+    def _drain_channel_d(self, cycle: int) -> None:
+        for message in self.chan_d.drain_ready(cycle):
+            if isinstance(message, GrantData):
+                self._handle_grant(message, cycle)
+            elif isinstance(message, ReleaseAck):
+                if message.param is ReleaseAckParam.ROOT:
+                    self.flush_unit.deliver_ack(message.address)
+                else:
+                    self.wbu.complete(message.address)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected channel D message {message}")
+            self.engine.note_progress()
+
+    def _handle_grant(self, grant: GrantData, cycle: int) -> None:
+        mshr = next(
+            (
+                m
+                for m in self.mshrs
+                if m.matches(grant.address) and m.state is MshrState.WAIT_GRANT
+            ),
+            None,
+        )
+        if mshr is None:
+            raise RuntimeError(f"GrantData for {grant.address:#x} with no MSHR")
+        set_idx = self.geometry.set_index(grant.address)
+        skip = self.params.skip_it and not grant.dirty
+        self.meta.install(
+            grant.address,
+            mshr.victim_way,
+            perm=grow_target(grant.grow),
+            dirty=False,
+            skip=skip,
+        )
+        self.data.write_line(set_idx, mshr.victim_way, grant.data)
+        self.chan_e.send(
+            GrantAck(source=self.agent_id, address=grant.address), cycle
+        )
+        mshr.granted()
+        self.stats.inc("grants")
+        if grant.dirty:
+            self.stats.inc("grants_dirty")
+
+    def _step_mshrs(self, cycle: int) -> None:
+        for mshr in self.mshrs:
+            if mshr.state is MshrState.EVICT_WAIT:
+                if self.wbu.wb_rdy and self.flush_unit.flush_rdy:
+                    victim_addr = self._mshr_victim_addr.pop(mshr.index)
+                    self.wbu.start_eviction(victim_addr, mshr.victim_way, cycle)
+                    mshr.eviction_done()
+                    self.engine.note_progress()
+            elif mshr.state is MshrState.ACQUIRE:
+                self.chan_a.send(
+                    Acquire(
+                        source=self.agent_id, address=mshr.address, grow=mshr.grow
+                    ),
+                    cycle,
+                )
+                mshr.acquire_sent()
+                self.engine.note_progress()
+            elif mshr.state is MshrState.REPLAY:
+                self._replay_one(mshr)
+
+    def _replay_one(self, mshr: Mshr) -> None:
+        request = mshr.pop_replay()
+        if request is None:
+            set_idx = self.geometry.set_index(mshr.address)
+            self._reserved_ways.discard((set_idx, mshr.victim_way))
+            mshr.free()
+            return
+        line = mshr.address
+        set_idx = self.geometry.set_index(line)
+        offset = request.address - line
+        if request.op is MemOp.LOAD:
+            value = self.data.read_word(set_idx, mshr.victim_way, offset)
+            if self.resp_sink is not None:
+                self.resp_sink.mem_response(request.req_id, value)
+        else:  # STORE / CBO_ZERO
+            if request.op is MemOp.CBO_ZERO:
+                self.data.write_line(
+                    set_idx, mshr.victim_way, bytes(self.geometry.line_bytes)
+                )
+            else:
+                self.data.write_word(set_idx, mshr.victim_way, offset, request.data)
+            replay_entry = self.meta.way_entry(line, mshr.victim_way)
+            replay_entry.dirty = True
+            replay_entry.skip = False
+        self.stats.inc("replays")
+        self.engine.note_progress()
+
+    # ------------------------------------------------------------- queries
+    @property
+    def quiescent(self) -> bool:
+        """True when nothing is in flight (tests/invariants use this)."""
+        return (
+            all(not m.busy for m in self.mshrs)
+            and not self.flush_unit.flushing
+            and self.wbu.wb_rdy
+            and self.probe_unit.probe_rdy
+        )
+
+    def line_state(self, address: int):
+        """(perm, dirty, skip) of a line, or None when absent (test helper)."""
+        hit = self.meta.lookup(self.geometry.line_address(address))
+        if hit is None:
+            return None
+        entry = hit[1]
+        return entry.perm, entry.dirty, entry.skip

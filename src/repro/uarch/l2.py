@@ -1,0 +1,603 @@
+"""SiFive-style inclusive last-level cache (§3.4) with RootRelease support (§5.5).
+
+The model keeps the structures Figure 4 names: *SinkC* (the per-client
+channel C intake), a *ListBuffer* holding requests that could not get an
+MSHR (none free, or an MSHR already active on the line), the *Directory*
+(full map of L1 sharers + dirty bit per line), the *BankedStore* (line
+data), *SourceB/C/D* (probes to L1s, releases to DRAM, responses to L1s).
+
+RootRelease handling follows §5.5:
+
+* the request allocates an MSHR (or waits in the ListBuffer);
+* dirty payload data is written to the BankedStore on arrival;
+* for ``RootReleaseFlush`` every *other* owner is probed ``toN``; for
+  ``RootReleaseClean`` the owner is probed ``toB`` only if it is not the
+  requester;
+* probing happens even when the requesting core did not hold the line;
+* if the line is dirty after merging probe responses, it is released to
+  DRAM via SourceC — if it is clean the DRAM writeback is skipped (the
+  LLC's *trivial* redundant-writeback filter the paper contrasts Skip It
+  against);
+* the requester finally receives a ``RootReleaseAck`` via SourceD.
+
+For Skip It (§6.1) the L2 answers Acquires with ``GrantDataDirty``
+(modelled as ``GrantData(dirty=True)``) whenever its copy of the line is
+dirty, i.e. not yet persisted.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.coherence.directory import DirectoryEntry
+from repro.mem.dram import DramModel
+from repro.sim.config import SoCParams
+from repro.sim.engine import Engine
+from repro.sim.stats import StatCounter
+from repro.tilelink.channel import BeatChannel
+from repro.tilelink.messages import (
+    Acquire,
+    GrantAck,
+    GrantData,
+    Probe,
+    ProbeAck,
+    ProbeAckParam,
+    Release,
+    ReleaseAck,
+    root_release_ack,
+)
+from repro.tilelink.permissions import Cap, Grow, Perm, is_report, shrink_result
+
+
+@dataclass
+class ClientLink:
+    """The five channels between one L1 client and this cache."""
+
+    a: BeatChannel
+    b: BeatChannel
+    c: BeatChannel
+    d: BeatChannel
+    e: BeatChannel
+
+
+@dataclass
+class L2Line:
+    data: bytes
+    dirty: bool = False
+    directory: DirectoryEntry = field(default_factory=DirectoryEntry)
+
+
+class _MshrKind(enum.Enum):
+    ACQUIRE = "acquire"
+    ROOT_RELEASE = "root_release"
+
+
+class _MshrState(enum.Enum):
+    START = "start"
+    EVICT_PROBE = "evict_probe"  # revoking L1 copies of the L2 victim
+    EVICT_WB = "evict_wb"  # victim writeback to DRAM in flight
+    FETCH = "fetch"  # line fetch from DRAM in flight
+    PROBE = "probe"  # revoking/downgrading L1 copies of the target
+    ROOT_WB = "root_wb"  # RootRelease-triggered DRAM writeback in flight
+    GRANT_WAIT = "grant_wait"  # waiting for GrantAck on channel E
+    DONE = "done"
+
+
+@dataclass
+class _L2Mshr:
+    kind: _MshrKind
+    client: int
+    address: int
+    state: _MshrState = _MshrState.START
+    grow: Grow = Grow.NtoB
+    cbo: ProbeAckParam = ProbeAckParam.NORMAL  # which RootRelease kind
+    awaiting_acks: Set[int] = field(default_factory=set)
+    probe_cap: Optional[Cap] = None  # cap of the probes currently awaited
+    victim_address: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.cbo is ProbeAckParam.CLEAN
+
+    @property
+    def inval(self) -> bool:
+        return self.cbo is ProbeAckParam.INVAL
+
+
+class InclusiveL2Cache:
+    """Shared, inclusive L2 acting as manager for the L1s, client to DRAM."""
+
+    AGENT_ID = 100
+
+    def __init__(self, engine: Engine, params: SoCParams, dram: DramModel) -> None:
+        self.engine = engine
+        self.params = params
+        self.geometry = params.l2
+        self.dram = dram
+        self.lines: Dict[int, L2Line] = {}  # BankedStore + Directory, by address
+        self.links: List[ClientLink] = []
+        self.mshrs: List[Optional[_L2Mshr]] = [None] * params.num_l2_mshrs
+        self.list_buffer: Deque[Tuple[str, object]] = deque()
+        self._ingress: Deque[Tuple[int, str, object]] = deque()  # (ready, kind, msg)
+        self.stats = StatCounter()
+        engine.register(self)
+
+    def add_client(self, link: ClientLink) -> int:
+        self.links.append(link)
+        return len(self.links) - 1
+
+    # ------------------------------------------------------------- helpers
+    def _line(self, address: int) -> Optional[L2Line]:
+        return self.lines.get(address)
+
+    def _mshr_on(self, address: int) -> Optional[_L2Mshr]:
+        for mshr in self.mshrs:
+            if mshr is not None and mshr.address == address:
+                return mshr
+        return None
+
+    def _busy_lines(self) -> Set[int]:
+        busy = set()
+        for mshr in self.mshrs:
+            if mshr is not None:
+                busy.add(mshr.address)
+                if mshr.victim_address is not None:
+                    busy.add(mshr.victim_address)
+        return busy
+
+    def _set_occupancy(self, address: int) -> List[int]:
+        """Addresses of resident lines mapping to *address*'s set."""
+        set_idx = self.geometry.set_index(address)
+        return [
+            a for a in self.lines if self.geometry.set_index(a) == set_idx
+        ]
+
+    # ---------------------------------------------------------------- tick
+    def tick(self, cycle: int) -> None:
+        self._drain_clients(cycle)
+        self._drain_dram(cycle)
+        self._admit_ingress(cycle)
+        self._drain_list_buffer(cycle)
+        self._step_mshrs(cycle)
+
+    # --------------------------------------------------------- channel I/O
+    def _drain_clients(self, cycle: int) -> None:
+        pipeline = self.params.latencies.l2_pipeline
+        for client, link in enumerate(self.links):
+            for message in link.a.drain_ready(cycle):
+                self._ingress.append((cycle + pipeline, "acquire", message))
+                self.engine.note_progress()
+            for message in link.c.drain_ready(cycle):
+                # SinkC: split probe responses from (Root)Releases
+                if isinstance(message, ProbeAck) and message.is_root_release:
+                    # §5.5: dirty payload data is written to the
+                    # BankedStore *on arrival*, even when the request then
+                    # waits in the ListBuffer — a concurrent Acquire must
+                    # never be granted the stale pre-writeback data.
+                    self._sink_root_release_data(message)
+                    self._ingress.append((cycle + pipeline, "root", message))
+                elif isinstance(message, ProbeAck):
+                    self._probe_ack(message)
+                elif isinstance(message, Release):
+                    self._ingress.append((cycle + pipeline, "release", message))
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unexpected C message {message}")
+                self.engine.note_progress()
+            for message in link.e.drain_ready(cycle):
+                self._grant_ack(message)
+                self.engine.note_progress()
+
+    def _drain_dram(self, cycle: int) -> None:
+        for message in self.dram.chan_d.drain_ready(cycle):
+            if isinstance(message, GrantData):
+                mshr = self._find_mshr(message.address, _MshrState.FETCH)
+                self.lines[message.address] = L2Line(data=message.data, dirty=False)
+                mshr.state = _MshrState.START  # re-dispatch, line now present
+            elif isinstance(message, ReleaseAck):
+                mshr = self._mshr_victim(message.address)
+                if mshr is not None and mshr.state is _MshrState.EVICT_WB:
+                    mshr.victim_address = None
+                    mshr.state = _MshrState.START
+                else:
+                    mshr = self._find_mshr(message.address, _MshrState.ROOT_WB)
+                    line = self._line(mshr.address)
+                    if line is not None:
+                        line.dirty = False
+                    mshr.state = _MshrState.DONE
+            self.engine.note_progress()
+
+    def _find_mshr(self, address: int, state: "_MshrState") -> "_L2Mshr":
+        for mshr in self.mshrs:
+            if mshr is not None and mshr.address == address and mshr.state is state:
+                return mshr
+        raise RuntimeError(f"no MSHR in {state} for {address:#x}")
+
+    def _mshr_victim(self, address: int) -> Optional[_L2Mshr]:
+        for mshr in self.mshrs:
+            if mshr is not None and mshr.victim_address == address:
+                return mshr
+        return None
+
+    def _admit_ingress(self, cycle: int) -> None:
+        deferred: Deque[Tuple[int, str, object]] = deque()
+        while self._ingress:
+            ready, kind, message = self._ingress.popleft()
+            if ready > cycle:
+                deferred.append((ready, kind, message))
+                continue
+            if kind == "release":
+                self._voluntary_release(message, cycle)
+            else:
+                if not self._try_allocate(kind, message, cycle):
+                    if len(self.list_buffer) >= self.params.l2_list_buffer_depth:
+                        # ListBuffer full: keep the request in ingress (the
+                        # channel has already delivered it; this models the
+                        # buffered backpressure of the real SinkC).
+                        deferred.append((cycle + 1, kind, message))
+                    else:
+                        self.list_buffer.append((kind, message))
+        self._ingress = deferred
+
+    def _drain_list_buffer(self, cycle: int) -> None:
+        remaining: Deque[Tuple[str, object]] = deque()
+        while self.list_buffer:
+            kind, message = self.list_buffer.popleft()
+            if not self._try_allocate(kind, message, cycle):
+                remaining.append((kind, message))
+        self.list_buffer = remaining
+
+    # ------------------------------------------------------- request admit
+    def _try_allocate(self, kind: str, message, cycle: int) -> bool:
+        if self._mshr_on(message.address) is not None:
+            return False
+        slot = next((i for i, m in enumerate(self.mshrs) if m is None), None)
+        if slot is None:
+            return False
+        if kind == "acquire":
+            mshr = _L2Mshr(
+                kind=_MshrKind.ACQUIRE,
+                client=message.source,
+                address=message.address,
+                grow=message.grow,
+            )
+            self.stats.inc("acquires")
+        else:  # RootRelease
+            mshr = _L2Mshr(
+                kind=_MshrKind.ROOT_RELEASE,
+                client=message.source,
+                address=message.address,
+                cbo=message.param,
+            )
+            self._apply_root_release_arrival(message)
+            self.stats.inc(f"root_release_{message.param.value.lower()}")
+        self.mshrs[slot] = mshr
+        self.engine.note_progress()
+        return True
+
+    def _sink_root_release_data(self, message: ProbeAck) -> None:
+        """BankedStore intake for a RootRelease payload, at arrival time."""
+        if message.data is None:
+            return
+        line = self._line(message.address)
+        if line is None:
+            # A concurrent RootReleaseFlush from another core can have
+            # invalidated the L2 copy while this message (carrying the
+            # then-owner's dirty data) was in flight.  The payload is the
+            # newest value of the line and must not be lost: reinstall it
+            # so the eventual writeback reaches DRAM.
+            self.lines[message.address] = L2Line(data=message.data, dirty=True)
+            self.stats.inc("root_release_reinstalls")
+        else:
+            line.data = message.data
+            line.dirty = True
+
+    def _apply_root_release_arrival(self, message: ProbeAck) -> None:
+        """Directory update for a RootRelease at MSHR allocation (§5.5).
+
+        The payload data was already written by ``_sink_root_release_data``
+        when the message arrived.
+        """
+        line = self._line(message.address)
+        if line is not None and not is_report(message.shrink):
+            line.directory.downgrade(
+                message.source, shrink_result(message.shrink)
+            )
+
+    def _voluntary_release(self, message: Release, cycle: int) -> None:
+        """Handle an L1 eviction Release (possibly racing one of our probes)."""
+        line = self._line(message.address)
+        if line is None:
+            raise RuntimeError("Release for a line absent in inclusive L2")
+        if message.data is not None:
+            line.data = message.data
+            line.dirty = True
+        if not is_report(message.shrink):
+            line.directory.downgrade(
+                message.source, shrink_result(message.shrink)
+            )
+        mshr = self._mshr_on(message.address)
+        if mshr is not None and message.source in mshr.awaiting_acks:
+            # the voluntary release crossed our probe; it answers it
+            mshr.awaiting_acks.discard(message.source)
+        self.links[message.source].d.send(
+            ReleaseAck(source=self.AGENT_ID, address=message.address), cycle
+        )
+        self.stats.inc("releases")
+
+    def _probe_ack(self, message: ProbeAck) -> None:
+        mshr = self._mshr_on(message.address) or self._mshr_victim(message.address)
+        if mshr is None or message.source not in mshr.awaiting_acks:
+            raise RuntimeError(
+                f"unsolicited ProbeAck from {message.source} for "
+                f"{message.address:#x}"
+            )
+        line = self._line(message.address)
+        assert line is not None
+        discard = (
+            mshr.kind is _MshrKind.ROOT_RELEASE and mshr.inval
+        )  # cbo.inval discards dirty data instead of merging it
+        if message.data is not None and not discard:
+            line.data = message.data
+            line.dirty = True
+        # The probe's cap, not the answer's shrink, decides the directory
+        # update: the client is at most at `cap` now even when it answers
+        # with a stale report (e.g. NtoN because a concurrent flush
+        # already invalidated its copy).
+        assert mshr.probe_cap is not None
+        current = line.directory.perm_of(message.source)
+        target = min(current, mshr.probe_cap.perm)
+        line.directory.downgrade(message.source, Perm(target))
+        mshr.awaiting_acks.discard(message.source)
+        self.stats.inc("probe_acks")
+
+    def _grant_ack(self, message: GrantAck) -> None:
+        mshr = self._mshr_on(message.address)
+        if mshr is None or mshr.state is not _MshrState.GRANT_WAIT:
+            raise RuntimeError("GrantAck with no granting MSHR")
+        self._free(mshr)
+
+    # ------------------------------------------------------------ MSHR FSM
+    def _step_mshrs(self, cycle: int) -> None:
+        for mshr in list(self.mshrs):
+            if mshr is None:
+                continue
+            if mshr.state is _MshrState.START:
+                self._dispatch(mshr, cycle)
+            elif mshr.state in (_MshrState.EVICT_PROBE, _MshrState.PROBE):
+                if not mshr.awaiting_acks:
+                    if mshr.state is _MshrState.EVICT_PROBE:
+                        self._finish_victim_probe(mshr, cycle)
+                    else:
+                        self._after_target_probe(mshr, cycle)
+            elif mshr.state is _MshrState.DONE:
+                self._complete(mshr, cycle)
+
+    def _dispatch(self, mshr: _L2Mshr, cycle: int) -> None:
+        line = self._line(mshr.address)
+        if mshr.kind is _MshrKind.ACQUIRE:
+            if line is None:
+                if self._need_eviction(mshr.address):
+                    self._start_victim_eviction(mshr, cycle)
+                else:
+                    self._fetch_from_dram(mshr, cycle)
+                return
+            self._probe_for_acquire(mshr, line, cycle)
+        else:  # ROOT_RELEASE
+            self._probe_for_root_release(mshr, line, cycle)
+
+    # -------------------------------------------------- acquire processing
+    def _need_eviction(self, address: int) -> bool:
+        set_idx = self.geometry.set_index(address)
+        resident = self._set_occupancy(address)
+        # Concurrent fills into the same set also claim ways: count MSHRs
+        # whose fetched line has not landed yet, or this set overflows.
+        inflight = sum(
+            1
+            for m in self.mshrs
+            if m is not None
+            and m.address != address
+            and m.state is _MshrState.FETCH
+            and self.geometry.set_index(m.address) == set_idx
+            and m.address not in self.lines
+        )
+        return len(resident) + inflight >= self.geometry.ways
+
+    def _start_victim_eviction(self, mshr: _L2Mshr, cycle: int) -> None:
+        busy = self._busy_lines()
+        candidates = [a for a in self._set_occupancy(mshr.address) if a not in busy]
+        if not candidates:
+            return  # every line in the set is mid-transaction; retry next cycle
+        victim = candidates[0]
+        mshr.victim_address = victim
+        line = self.lines[victim]
+        if line.directory.sharers:
+            mshr.awaiting_acks = set(line.directory.sharers)
+            mshr.probe_cap = Cap.toN
+            for client in mshr.awaiting_acks:
+                self.links[client].b.send(
+                    Probe(source=self.AGENT_ID, address=victim, cap=Cap.toN), cycle
+                )
+            mshr.state = _MshrState.EVICT_PROBE
+            self.stats.inc("inclusive_probes", len(mshr.awaiting_acks))
+        else:
+            self._writeback_victim(mshr, cycle)
+
+    def _finish_victim_probe(self, mshr: _L2Mshr, cycle: int) -> None:
+        self._writeback_victim(mshr, cycle)
+
+    def _writeback_victim(self, mshr: _L2Mshr, cycle: int) -> None:
+        victim = mshr.victim_address
+        assert victim is not None
+        line = self.lines[victim]
+        if line.dirty:
+            self.dram.chan_c.send(
+                Release(source=self.AGENT_ID, address=victim, data=line.data), cycle
+            )
+            del self.lines[victim]
+            mshr.state = _MshrState.EVICT_WB
+            self.stats.inc("victim_writebacks")
+        else:
+            del self.lines[victim]
+            mshr.victim_address = None
+            mshr.state = _MshrState.START
+            self.stats.inc("victim_drops")
+
+    def _fetch_from_dram(self, mshr: _L2Mshr, cycle: int) -> None:
+        self.dram.chan_a.send(
+            Acquire(source=self.AGENT_ID, address=mshr.address, grow=Grow.NtoT),
+            cycle,
+        )
+        mshr.state = _MshrState.FETCH
+        self.stats.inc("dram_fetches")
+
+    def _probe_for_acquire(self, mshr: _L2Mshr, line: L2Line, cycle: int) -> None:
+        want_trunk = mshr.grow in (Grow.NtoT, Grow.BtoT)
+        directory = line.directory
+        if want_trunk:
+            targets = directory.sharers - {mshr.client}
+            cap = Cap.toN
+        else:
+            targets = (
+                {directory.owner}
+                if directory.owner is not None and directory.owner != mshr.client
+                else set()
+            )
+            cap = Cap.toB
+        if targets:
+            mshr.awaiting_acks = set(targets)
+            mshr.probe_cap = cap
+            for client in targets:
+                self.links[client].b.send(
+                    Probe(source=self.AGENT_ID, address=mshr.address, cap=cap),
+                    cycle,
+                )
+            mshr.state = _MshrState.PROBE
+            self.stats.inc("coherence_probes", len(targets))
+        else:
+            self._grant(mshr, line, cycle)
+
+    def _after_target_probe(self, mshr: _L2Mshr, cycle: int) -> None:
+        line = self._line(mshr.address)
+        assert line is not None
+        if mshr.kind is _MshrKind.ACQUIRE:
+            self._grant(mshr, line, cycle)
+        else:
+            self._root_release_writeback(mshr, line, cycle)
+
+    def _grant(self, mshr: _L2Mshr, line: L2Line, cycle: int) -> None:
+        want_trunk = mshr.grow in (Grow.NtoT, Grow.BtoT)
+        others = line.directory.sharers - {mshr.client}
+        # Exclusive-state optimisation: a lone reader gets TRUNK clean.
+        if want_trunk or not others:
+            granted = Grow.NtoT
+            perm = Perm.TRUNK
+        else:
+            granted = Grow.NtoB
+            perm = Perm.BRANCH
+        line.directory.grant(mshr.client, perm)
+        self.links[mshr.client].d.send(
+            GrantData(
+                source=self.AGENT_ID,
+                address=mshr.address,
+                grow=granted,
+                data=line.data,
+                # GrantDataDirty (§6): tell the L1 the line is not persisted
+                dirty=line.dirty,
+            ),
+            cycle,
+        )
+        mshr.state = _MshrState.GRANT_WAIT
+        self.stats.inc("grants")
+        if line.dirty:
+            self.stats.inc("grants_dirty")
+
+    # --------------------------------------------- RootRelease processing
+    def _probe_for_root_release(
+        self, mshr: _L2Mshr, line: Optional[L2Line], cycle: int
+    ) -> None:
+        if line is None:
+            # Absent in the inclusive L2: no cache anywhere holds it, and
+            # DRAM already has the authoritative copy; just acknowledge.
+            mshr.state = _MshrState.DONE
+            self.stats.inc("root_release_absent")
+            return
+        directory = line.directory
+        if mshr.clean:
+            targets = (
+                {directory.owner}
+                if directory.owner is not None and directory.owner != mshr.client
+                else set()
+            )
+            cap = Cap.toB
+        else:
+            targets = directory.sharers - {mshr.client}
+            cap = Cap.toN
+        if targets:
+            mshr.awaiting_acks = set(targets)
+            mshr.probe_cap = cap
+            for client in targets:
+                self.links[client].b.send(
+                    Probe(source=self.AGENT_ID, address=mshr.address, cap=cap),
+                    cycle,
+                )
+            mshr.state = _MshrState.PROBE
+            self.stats.inc("root_probes", len(targets))
+        else:
+            self._root_release_writeback(mshr, line, cycle)
+
+    def _root_release_writeback(
+        self, mshr: _L2Mshr, line: L2Line, cycle: int
+    ) -> None:
+        if mshr.inval:
+            # discard semantics: no DRAM writeback, ever
+            line.dirty = False
+            mshr.state = _MshrState.DONE
+            self.stats.inc("root_inval_discards")
+            return
+        if line.dirty:
+            self.dram.chan_c.send(
+                Release(source=self.AGENT_ID, address=mshr.address, data=line.data),
+                cycle,
+            )
+            mshr.state = _MshrState.ROOT_WB
+            self.stats.inc("root_writebacks")
+        else:
+            # The LLC's trivial filter: clean line, skip the DRAM writeback.
+            mshr.state = _MshrState.DONE
+            self.stats.inc("root_writebacks_skipped")
+
+    def _complete(self, mshr: _L2Mshr, cycle: int) -> None:
+        if mshr.kind is _MshrKind.ROOT_RELEASE:
+            line = self._line(mshr.address)
+            if not mshr.clean and line is not None and line.directory.idle:
+                # CBO.FLUSH/CBO.INVAL invalidate the whole hierarchy (§2.6)
+                del self.lines[mshr.address]
+                self.stats.inc("flush_l2_invalidations")
+            self.links[mshr.client].d.send(
+                root_release_ack(self.AGENT_ID, mshr.address), cycle
+            )
+            self.stats.inc("root_release_acks")
+        self._free(mshr)
+
+    def _free(self, mshr: _L2Mshr) -> None:
+        idx = self.mshrs.index(mshr)
+        self.mshrs[idx] = None
+        self.engine.note_progress()
+
+    # ------------------------------------------------------------- queries
+    @property
+    def quiescent(self) -> bool:
+        return all(m is None for m in self.mshrs) and not self.list_buffer and not (
+            self._ingress
+        )
+
+    def line_dirty(self, address: int) -> Optional[bool]:
+        line = self._line(address)
+        return None if line is None else line.dirty
+
+    def directory_of(self, address: int) -> Optional[DirectoryEntry]:
+        line = self._line(address)
+        return None if line is None else line.directory

@@ -1,0 +1,97 @@
+"""The L1 probe unit (§3.3) with the paper's handshake extensions (§5.4.1).
+
+On probe arrival the unit immediately lowers ``probe_rdy`` and downgrades
+matching flush-queue entries (``probe_invalidate``).  One cycle later it
+checks ``flush_rdy`` (no FSHR mutating line state) and ``wb_rdy`` (no
+eviction in flight) and only then performs the downgrade and answers with
+a ProbeAck.  This one-cycle stagger is exactly the deadlock-freedom
+argument of §5.4.1: a flush request dequeued in the same cycle the probe
+arrived wins the race, completes its metadata work, and re-raises
+``flush_rdy``; no further dequeue can start because ``probe_rdy`` is low.
+
+Probes to a line whose MSHR is replaying buffered stores stall on
+``mshr_rdy`` (§3.3): those stores are already architecturally committed
+and must land before the line can be surrendered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tilelink.messages import Probe, ProbeAck
+from repro.tilelink.permissions import Cap, Perm, probe_shrink
+
+
+class ProbeUnit:
+    """Handles one coherence probe at a time."""
+
+    def __init__(self, l1) -> None:
+        self.l1 = l1
+        self._current: Optional[Probe] = None
+        self._arrival_cycle = -1
+        self.probes_handled = 0
+        self.probes_stalled_cycles = 0
+
+    @property
+    def probe_rdy(self) -> bool:
+        """High when no probe is in flight; gates flush-queue dequeue."""
+        return self._current is None
+
+    def tick(self, cycle: int) -> None:
+        if self._current is None:
+            probe = self.l1.pop_channel_b(cycle)
+            if probe is None:
+                return
+            self._current = probe
+            self._arrival_cycle = cycle
+            # §5.4.1: invalidate conflicting flush-queue entries before
+            # anything else can dequeue them.
+            self.l1.flush_unit.probe_invalidate(probe.address, probe.cap)
+            self.l1.engine.note_progress()
+            return
+        # The paper's probe unit checks flush_rdy one cycle after lowering
+        # probe_rdy, so a same-cycle dequeue completes first.
+        if cycle <= self._arrival_cycle:
+            return
+        if not self.l1.flush_unit.flush_rdy or not self.l1.wbu.wb_rdy:
+            self.probes_stalled_cycles += 1
+            return
+        if self.l1.mshr_blocks_probe(self._current.address):
+            self.probes_stalled_cycles += 1
+            return
+        self._handle(self._current, cycle)
+        self._current = None
+
+    def _handle(self, probe: Probe, cycle: int) -> None:
+        address, cap = probe.address, probe.cap
+        hit = self.l1.meta.lookup(address)
+        if hit is None:
+            current = Perm.NONE
+            data = None
+        else:
+            way, entry = hit
+            current = entry.perm
+            set_idx = self.l1.geometry.set_index(address)
+            data = self.l1.data.read_line(set_idx, way) if entry.dirty else None
+            target = min(current, cap.perm)
+            if target == Perm.NONE:
+                entry.invalidate()
+            else:
+                entry.perm = Perm(target)
+                if entry.dirty:
+                    # Dirty data leaves for L2: the line is clean here but
+                    # dirty above us, hence not persisted (§6.2) — the skip
+                    # bit must drop with the dirty bit.
+                    entry.dirty = False
+                    entry.skip = False
+        self.l1.send_channel_c(
+            ProbeAck(
+                source=self.l1.agent_id,
+                address=address,
+                shrink=probe_shrink(current, cap),
+                data=data,
+            ),
+            cycle,
+        )
+        self.probes_handled += 1
+        self.l1.engine.note_progress()

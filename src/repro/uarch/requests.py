@@ -1,0 +1,74 @@
+"""Requests exchanged between the LSU and the L1 data cache."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_req_ids = itertools.count()
+
+WORD_BYTES = 8
+
+
+class MemOp(enum.Enum):
+    """Operations the LSU can fire into the data cache.
+
+    ``CBO_CLEAN``/``CBO_FLUSH`` are the paper's writeback instructions
+    (§2.6); they are encoded as STQ requests so they fire in program order
+    at the ROB head (§5.1).  ``FENCE`` never reaches the cache — the LSU
+    retires it locally once the flush counter drains (§5.3).
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    CBO_CLEAN = "cbo.clean"
+    CBO_FLUSH = "cbo.flush"
+    CBO_INVAL = "cbo.inval"  # CMO extension: invalidate, discard dirty data
+    CBO_ZERO = "cbo.zero"  # CMO extension: zero a whole line
+    FENCE = "fence"
+
+    @property
+    def is_cbo(self) -> bool:
+        """Ops routed to the flush unit (cbo.zero is a store-like op)."""
+        return self in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.CBO_INVAL)
+
+    @property
+    def is_stq(self) -> bool:
+        """STQ-resident ops: stores, CBO.X and fences (§3.2, §5.1)."""
+        return self is not MemOp.LOAD
+
+
+@dataclass
+class MemRequest:
+    """One word-granular request fired from the LSU."""
+
+    op: MemOp
+    address: int  # byte address, word-aligned for LOAD/STORE
+    data: Optional[int] = None  # 64-bit store payload
+    req_id: int = field(default_factory=lambda: next(_req_ids), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op in (MemOp.LOAD, MemOp.STORE) and self.address % WORD_BYTES:
+            raise ValueError(f"unaligned word access at {self.address:#x}")
+        if self.op is MemOp.STORE and self.data is None:
+            raise ValueError("store requires data")
+
+
+class RespKind(enum.Enum):
+    OK = "ok"
+    NACK = "nack"
+
+
+@dataclass
+class MemResponse:
+    """L1 answer to a fired request (same cycle accept/nack; load data later)."""
+
+    kind: RespKind
+    req_id: int
+    data: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind is RespKind.OK

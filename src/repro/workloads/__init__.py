@@ -1,0 +1,18 @@
+"""Microbenchmark workload generators for the evaluation figures."""
+
+from repro.workloads.sweep import writeback_sweep, WritebackSweepResult
+from repro.workloads.reread import clean_vs_flush_reread
+from repro.workloads.redundant import redundant_writeback_latency
+from repro.workloads.datastructs import (
+    DataStructureBenchmark,
+    DataStructureResult,
+)
+
+__all__ = [
+    "writeback_sweep",
+    "WritebackSweepResult",
+    "clean_vs_flush_reread",
+    "redundant_writeback_latency",
+    "DataStructureBenchmark",
+    "DataStructureResult",
+]

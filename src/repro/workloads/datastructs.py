@@ -1,0 +1,175 @@
+"""Persistent data-structure throughput driver (Figures 14-16).
+
+Builds one of the four structures at a target size, then runs a mixed
+workload (``update_percent`` split evenly between inserts and deletes,
+the rest lookups, as in §7.4) on N virtual-time threads for a fixed
+virtual duration, and reports throughput.
+
+Structure sizes follow the spirit of §7.4: working sets chosen so the
+SonicBOOM's small 544 KiB of total cache is contended — which is exactly
+why FliT's auxiliary metadata hurts there (Figure 16).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.policies import make_policy
+from repro.persist.structures import STRUCTURES
+from repro.timing.params import TimingParams
+from repro.timing.scheduler import VirtualTimeScheduler
+from repro.timing.system import TimingSystem
+
+#: key-range per structure, sized so resident data pressures the caches
+#: (lists stay short because traversal is O(n)).
+DEFAULT_KEY_RANGES: Dict[str, int] = {
+    "list": 1024,
+    "hashtable": 8192,
+    "skiplist": 8192,
+    "bst": 20_000,
+}
+
+#: hash-table bucket count used throughout §7.4-style runs
+HASH_BUCKETS = 512
+
+
+@dataclass
+class DataStructureResult:
+    """Throughput of one (structure, policy, optimizer) cell."""
+
+    structure: str
+    policy: str
+    optimizer: str
+    update_percent: int
+    threads: int
+    total_ops: int
+    elapsed_cycles: int
+    throughput_mops: float
+    flush_requests: int
+    cbo_issued: int
+    cbo_skipped: int
+
+
+class DataStructureBenchmark:
+    """One configured throughput experiment."""
+
+    def __init__(
+        self,
+        structure: str,
+        policy: str,
+        optimizer: str,
+        update_percent: int = 5,
+        threads: int = 2,
+        key_range: Optional[int] = None,
+        flit_table_entries: int = 1024,
+        skip_it: Optional[bool] = None,
+        seed: int = 12345,
+    ) -> None:
+        if structure not in STRUCTURES:
+            raise ValueError(f"unknown structure {structure!r}")
+        self.structure_name = structure
+        self.policy_name = policy
+        self.optimizer_name = optimizer
+        self.update_percent = update_percent
+        self.threads = threads
+        self.key_range = key_range or DEFAULT_KEY_RANGES[structure]
+        self.flit_table_entries = flit_table_entries
+        # Skip It hardware is only present when benchmarking the skipit
+        # filter (matching the paper: the baseline SoC lacks the skip bit)
+        self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.seed = seed
+
+    @property
+    def applicable(self) -> bool:
+        """False for combinations the paper also excludes (BST x L&P)."""
+        structure_cls = STRUCTURES[self.structure_name]
+        if (
+            structure_cls.uses_pointer_tagging
+            and self.optimizer_name == "link-and-persist"
+        ):
+            return False
+        return True
+
+    def run(self, duration: int = 400_000, warmup_ops: int = 100) -> DataStructureResult:
+        if not self.applicable:
+            raise ValueError(
+                f"{self.optimizer_name} is not applicable to "
+                f"{self.structure_name} (pointer tagging)"
+            )
+        from repro.persist.heap import SimHeap
+
+        params = TimingParams(num_threads=self.threads, skip_it=self.skip_it)
+        system = TimingSystem(params)
+        heap = SimHeap(line_bytes=params.line_bytes)
+        optimizer = make_optimizer(
+            self.optimizer_name, heap, self.flit_table_entries
+        )
+        policy = make_policy(self.policy_name)
+        structure_cls = STRUCTURES[self.structure_name]
+        kwargs = (
+            {"num_buckets": HASH_BUCKETS}
+            if self.structure_name == "hashtable"
+            else {}
+        )
+        structure = structure_cls(
+            heap, field_stride=optimizer.field_stride, **kwargs
+        )
+        views = [PMemView(t, policy, optimizer) for t in system.threads]
+        structure.initialize(views[0])
+
+        # Prefill to ~50% occupancy of the key range (the steady state of a
+        # balanced insert/delete mix) through a non-persistent view: no
+        # flushes run during setup, so every configuration starts from the
+        # same warm cache state and only the measured workload's own
+        # writebacks shape the result.
+        prefill_view = PMemView(views[0].ctx, make_policy("none"), optimizer)
+        rng = random.Random(self.seed)
+        for key in rng.sample(range(1, self.key_range + 1), self.key_range // 2):
+            structure.insert(prefill_view, key)
+        # start measurement from a fully persisted steady state
+        system.persist_all()
+        optimizer.declare_persisted(system)
+        views[0].ctx.now = 0
+        views[0].ctx.outstanding.clear()
+
+        update_frac = self.update_percent / 100.0
+        steps = [
+            self._make_step(structure, view, update_frac, self.seed + 7 * tid)
+            for tid, view in enumerate(views)
+        ]
+        scheduler = VirtualTimeScheduler(system)
+        result = scheduler.run(steps, duration=duration, warmup=warmup_ops)
+        stats = system.stats.as_dict()
+        return DataStructureResult(
+            structure=self.structure_name,
+            policy=self.policy_name,
+            optimizer=self.optimizer_name,
+            update_percent=self.update_percent,
+            threads=self.threads,
+            total_ops=result.total_ops,
+            elapsed_cycles=result.elapsed,
+            throughput_mops=result.throughput() / 1e6,
+            flush_requests=sum(v.flush_requests for v in views),
+            cbo_issued=stats.get("cbo_issued", 0),
+            cbo_skipped=stats.get("cbo_skipped", 0),
+        )
+
+    def _make_step(self, structure, view: PMemView, update_frac: float, seed: int):
+        rng = random.Random(seed)
+        key_range = self.key_range
+
+        def step(ctx) -> None:
+            r = rng.random()
+            key = rng.randint(1, key_range)
+            if r < update_frac / 2:
+                structure.insert(view, key)
+            elif r < update_frac:
+                structure.delete(view, key)
+            else:
+                structure.contains(view, key)
+
+        return step

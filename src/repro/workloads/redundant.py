@@ -1,0 +1,76 @@
+"""Redundant-writeback microbenchmark (Figure 13).
+
+Per cache line: a store, one necessary CBO.X, then ten redundant CBO.X to
+the same (now persisted) line, with a trailing fence per region.  Run once
+with Skip It disabled (naive) and once enabled; the Skip It configuration
+drops the redundant requests at the L1 before they occupy the flush queue,
+an FSHR, or the L2.
+
+The paper benchmarks CBO.FLUSH and notes the results are identical for
+CBO.CLEAN (§7.4).  In this reproduction the benchmark defaults to
+CBO.CLEAN: after a flush the line is no longer resident, and §6.1's filter
+only applies to resident lines, so the clean variant is the one that
+exercises the L1-level drop the paper's Skip It discussion describes (see
+EXPERIMENTS.md for the full note).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.config import SoCParams
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+from repro.workloads.sweep import WritebackSweepResult, _thread_region
+
+
+def _redundant_program(
+    thread: int,
+    size_bytes: int,
+    line_bytes: int,
+    clean: bool,
+    redundant: int,
+) -> List[Instr]:
+    base = _thread_region(thread)
+    make = Instr.clean if clean else Instr.flush
+    program: List[Instr] = []
+    for offset in range(0, size_bytes, line_bytes):
+        address = base + offset
+        program.append(Instr.store(address, offset + 1))
+        program.extend(make(address) for _ in range(1 + redundant))
+    program.append(Instr.fence())
+    return program
+
+
+def redundant_writeback_latency(
+    size_bytes: int,
+    threads: int = 1,
+    skip_it: bool = True,
+    clean: bool = True,
+    redundant: int = 10,
+    repeats: int = 3,
+    params: SoCParams = None,
+) -> WritebackSweepResult:
+    """Latency of store + CBO.X + *redundant* extra CBO.X per line."""
+    params = (params or SoCParams()).with_cores(threads).with_skip_it(skip_it)
+    soc = Soc(params)
+    line = params.line_bytes
+    per_thread = max(line, (size_bytes // threads) // line * line)
+    label = "clean" if clean else "flush"
+    result = WritebackSweepResult(
+        size_bytes=size_bytes,
+        threads=threads,
+        op=f"{label}/{'skipit' if skip_it else 'naive'}",
+    )
+    # one discarded warmup repetition removes first-touch effects
+    for rep in range(repeats + 1):
+        cycles = soc.run_programs(
+            [
+                _redundant_program(t, per_thread, line, clean, redundant)
+                for t in range(threads)
+            ]
+        )
+        soc.drain()
+        if rep > 0:
+            result.samples.append(cycles)
+    return result

@@ -1,0 +1,64 @@
+"""Clean-vs-flush re-read microbenchmark (Figure 10).
+
+Per cache line: write, issue the writeback instruction ten times, fence,
+then re-read the value once the synchronous barrier has passed
+("Write - Clean/Flush x 10 - Fence - Read").  A CBO.CLEAN leaves the line
+resident so the re-read hits; a CBO.FLUSH invalidates it so the re-read
+refetches from memory — the ~2x gap the figure shows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.config import SoCParams
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+from repro.workloads.sweep import WritebackSweepResult, _thread_region
+
+
+def _reread_program(
+    thread: int, size_bytes: int, line_bytes: int, clean: bool, cbo_repeats: int
+) -> List[Instr]:
+    base = _thread_region(thread)
+    make = Instr.clean if clean else Instr.flush
+    program: List[Instr] = []
+    for offset in range(0, size_bytes, line_bytes):
+        address = base + offset
+        program.append(Instr.store(address, offset + 1))
+        program.extend(make(address) for _ in range(cbo_repeats))
+        program.append(Instr.fence())
+        program.append(Instr.load(address))
+    return program
+
+
+def clean_vs_flush_reread(
+    size_bytes: int,
+    threads: int = 1,
+    clean: bool = False,
+    cbo_repeats: int = 10,
+    repeats: int = 3,
+    params: SoCParams = None,
+) -> WritebackSweepResult:
+    """Measure the write/CBO.X^10/fence/read loop over *size_bytes*."""
+    params = (params or SoCParams()).with_cores(threads)
+    soc = Soc(params)
+    line = params.line_bytes
+    per_thread = max(line, (size_bytes // threads) // line * line)
+    result = WritebackSweepResult(
+        size_bytes=size_bytes,
+        threads=threads,
+        op="clean" if clean else "flush",
+    )
+    # one discarded warmup repetition removes first-touch effects
+    for rep in range(repeats + 1):
+        cycles = soc.run_programs(
+            [
+                _reread_program(t, per_thread, line, clean, cbo_repeats)
+                for t in range(threads)
+            ]
+        )
+        soc.drain()
+        if rep > 0:
+            result.samples.append(cycles)
+    return result

@@ -1,0 +1,114 @@
+"""Writeback-size sweep (Figure 9; SonicBOOM series of Figures 11-12).
+
+Per repetition: each thread dirties its own disjoint region, then flushes
+(or cleans) it line by line and fences once at the end; the measured
+interval covers the writebacks and the fence, matching §7.2's
+"we dirty the cache, then each thread flushes sequentially and fences
+once at the end".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.config import SoCParams
+from repro.sim.stats import median, stdev
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+
+#: Regions are spaced apart so threads never contend for lines (§7.2:
+#: "non-contended lines, i.e. each thread flushes a different cache region").
+REGION_STRIDE = 1 << 20
+REGION_BASE = 1 << 24
+
+
+@dataclass
+class WritebackSweepResult:
+    """Latency samples for one (size, threads, op) point."""
+
+    size_bytes: int
+    threads: int
+    op: str
+    samples: List[int] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        return median(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        return stdev(self.samples)
+
+
+def _thread_region(thread: int) -> int:
+    return REGION_BASE + thread * REGION_STRIDE
+
+
+def _dirty_program(thread: int, size_bytes: int, line_bytes: int) -> List[Instr]:
+    base = _thread_region(thread)
+    return [
+        Instr.store(base + offset, offset + 1)
+        for offset in range(0, size_bytes, line_bytes)
+    ]
+
+
+def _writeback_program(
+    thread: int, size_bytes: int, line_bytes: int, clean: bool
+) -> List[Instr]:
+    base = _thread_region(thread)
+    make = Instr.clean if clean else Instr.flush
+    program = [
+        make(base + offset) for offset in range(0, size_bytes, line_bytes)
+    ]
+    program.append(Instr.fence())
+    return program
+
+
+def writeback_sweep(
+    size_bytes: int,
+    threads: int = 1,
+    clean: bool = False,
+    repeats: int = 5,
+    params: SoCParams = None,
+) -> WritebackSweepResult:
+    """Measure flushing *size_bytes* split evenly across *threads* threads."""
+    params = (params or SoCParams()).with_cores(threads)
+    soc = Soc(params)
+    line = params.line_bytes
+    per_thread = max(line, (size_bytes // threads) // line * line)
+    result = WritebackSweepResult(
+        size_bytes=size_bytes,
+        threads=threads,
+        op="clean" if clean else "flush",
+    )
+    # one discarded warmup repetition removes first-touch effects
+    for rep in range(repeats + 1):
+        soc.run_programs(
+            [_dirty_program(t, per_thread, line) for t in range(threads)]
+        )
+        soc.drain()
+        cycles = soc.run_programs(
+            [
+                _writeback_program(t, per_thread, line, clean)
+                for t in range(threads)
+            ]
+        )
+        soc.drain()
+        if rep > 0:
+            result.samples.append(cycles)
+    return result
+
+
+def sweep_series(
+    sizes: List[int],
+    threads: int,
+    clean: bool = False,
+    repeats: int = 3,
+    params: SoCParams = None,
+) -> Dict[int, WritebackSweepResult]:
+    """One Figure 9 series: size -> sweep result."""
+    return {
+        size: writeback_sweep(size, threads, clean, repeats, params)
+        for size in sizes
+    }

@@ -1,0 +1,24 @@
+"""Commercial-CPU writeback latency models (Figures 11-12).
+
+We cannot run AMD EPYC 7763, Intel Xeon Gold 6238T or AWS Graviton3
+silicon offline, so this package substitutes parametric latency models
+encoding each platform's documented/observed behaviour (see DESIGN.md §2).
+"""
+
+from repro.xarch.models import (
+    CommercialCpuModel,
+    PLATFORMS,
+    amd_epyc_7763,
+    graviton3,
+    intel_xeon_6238t,
+    platform_models,
+)
+
+__all__ = [
+    "CommercialCpuModel",
+    "PLATFORMS",
+    "amd_epyc_7763",
+    "intel_xeon_6238t",
+    "graviton3",
+    "platform_models",
+]

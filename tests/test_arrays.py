@@ -1,0 +1,103 @@
+"""Unit tests for the L1 metadata/data arrays."""
+
+from repro.sim.config import CacheGeometry
+from repro.tilelink.permissions import Perm
+from repro.uarch.arrays import DataArray, MetaArray
+
+
+def small_geometry():
+    # 4 sets x 2 ways of 64B lines
+    return CacheGeometry(size_bytes=512, ways=2)
+
+
+class TestMetaArray:
+    def test_miss_on_empty(self):
+        meta = MetaArray(small_geometry())
+        assert meta.lookup(0x1000) is None
+
+    def test_install_and_lookup(self):
+        meta = MetaArray(small_geometry())
+        meta.install(0x1000, way=0, perm=Perm.TRUNK, dirty=True)
+        way, entry = meta.lookup(0x1000)
+        assert way == 0
+        assert entry.perm is Perm.TRUNK
+        assert entry.dirty
+
+    def test_skip_bit_cleared_on_invalidate(self):
+        meta = MetaArray(small_geometry())
+        entry = meta.install(0, way=1, perm=Perm.BRANCH, skip=True)
+        entry.invalidate()
+        assert not entry.skip and not entry.dirty and not entry.valid
+
+    def test_victim_prefers_invalid_way(self):
+        meta = MetaArray(small_geometry())
+        meta.install(0, way=0, perm=Perm.BRANCH)
+        assert meta.victim_way(0) == 1
+
+    def test_victim_lru_when_full(self):
+        g = small_geometry()
+        meta = MetaArray(g)
+        stride = g.num_sets * g.line_bytes  # same set, different tags
+        meta.install(0, way=0, perm=Perm.BRANCH)
+        meta.install(stride, way=1, perm=Perm.BRANCH)
+        meta.touch(0, 0)  # way 0 becomes MRU
+        assert meta.victim_way(2 * stride) == 1
+
+    def test_victim_respects_exclusions(self):
+        meta = MetaArray(small_geometry())
+        assert meta.victim_way(0, exclude={0}) == 1
+        assert meta.victim_way(0, exclude={0, 1}) is None
+
+    def test_address_reconstruction(self):
+        g = small_geometry()
+        meta = MetaArray(g)
+        address = 3 * g.num_sets * g.line_bytes + 2 * g.line_bytes
+        entry = meta.install(address, way=0, perm=Perm.TRUNK)
+        assert meta.address_of(g.set_index(address), entry) == address
+
+    def test_iter_valid(self):
+        meta = MetaArray(small_geometry())
+        meta.install(0, way=0, perm=Perm.BRANCH)
+        meta.install(64, way=0, perm=Perm.TRUNK)
+        assert len(list(meta.iter_valid())) == 2
+
+    def test_different_tag_same_set_misses(self):
+        g = small_geometry()
+        meta = MetaArray(g)
+        meta.install(0, way=0, perm=Perm.TRUNK)
+        other = g.num_sets * g.line_bytes  # same set 0, different tag
+        assert meta.lookup(other) is None
+
+
+class TestDataArray:
+    def test_unwritten_line_zero(self):
+        data = DataArray(small_geometry())
+        assert data.read_line(0, 0) == bytes(64)
+
+    def test_line_roundtrip(self):
+        data = DataArray(small_geometry())
+        payload = bytes(range(64))
+        data.write_line(1, 1, payload)
+        assert data.read_line(1, 1) == payload
+
+    def test_word_merge(self):
+        data = DataArray(small_geometry())
+        data.write_word(0, 0, 8, 0xDEADBEEF)
+        assert data.read_word(0, 0, 8) == 0xDEADBEEF
+        assert data.read_word(0, 0, 0) == 0  # neighbours untouched
+
+    def test_word_offsets_independent(self):
+        data = DataArray(small_geometry())
+        for i in range(8):
+            data.write_word(0, 0, i * 8, i + 1)
+        assert [data.read_word(0, 0, i * 8) for i in range(8)] == list(
+            range(1, 9)
+        )
+
+    def test_size_mismatch_rejected(self):
+        data = DataArray(small_geometry())
+        try:
+            data.write_line(0, 0, b"short")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass

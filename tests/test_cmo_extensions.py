@@ -1,0 +1,182 @@
+"""Tests for the CMO extension instructions: cbo.inval and cbo.zero.
+
+These are not evaluated in the paper but are part of the same RISC-V CMO
+extension [60]; DESIGN.md lists them as implemented extensions.
+"""
+
+from repro.core.flush_queue import CboKind
+from repro.core.flush_unit import OfferResult
+from repro.sim.config import FlushUnitParams, SoCParams
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+
+LINE = 0x7000
+
+
+def dirty_soc(value=77):
+    soc = Soc()
+    soc.run_programs([[Instr.store(LINE, value)]])
+    soc.drain()
+    return soc
+
+
+class TestCboInval:
+    def test_inval_discards_dirty_data(self):
+        soc = dirty_soc()
+        soc.run_programs([[Instr.inval(LINE), Instr.fence()]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE) is None
+        assert soc.l2.line_dirty(LINE) is None  # L2 copy dropped
+        assert soc.persisted_value(LINE) == 0  # data was NOT written back
+        assert soc.memory.writes == 0
+
+    def test_inval_revokes_other_cores(self):
+        soc = dirty_soc()
+        soc.run_programs([[], [Instr.inval(LINE), Instr.fence()]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE) is None
+        assert soc.persisted_value(LINE) == 0
+        assert soc.l2.stats.get("root_inval_discards") == 1
+
+    def test_inval_never_skipped_by_skip_it(self):
+        """Even a persisted line must be invalidated by cbo.inval."""
+        soc = Soc()
+        soc.run_programs(
+            [[Instr.store(LINE, 5), Instr.clean(LINE), Instr.fence()]]
+        )
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE)[2]  # skip set
+        soc.run_programs([[Instr.inval(LINE), Instr.fence()]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE) is None
+        assert soc.l1s[0].flush_unit.stats.get("skipped") == 0
+
+    def test_reads_after_inval_see_old_persisted_value(self):
+        soc = Soc()
+        soc.run_programs(
+            [[
+                Instr.store(LINE, 1),
+                Instr.clean(LINE),
+                Instr.fence(),  # 1 is persisted
+                Instr.store(LINE, 2),  # 2 is only cached
+                Instr.inval(LINE),
+                Instr.fence(),
+                Instr.load(LINE),
+            ]]
+        )
+        soc.drain()
+        assert soc.cores[0].load_result(6) == 1  # the discarded 2 is gone
+
+
+class TestCboZero:
+    def test_zero_on_resident_line(self):
+        soc = dirty_soc(value=77)
+        soc.run_programs([[Instr.zero(LINE), Instr.load(LINE), Instr.load(LINE + 8)]])
+        soc.drain()
+        assert soc.cores[0].load_result(1) == 0
+        assert soc.cores[0].load_result(2) == 0
+        _, dirty, _ = soc.l1s[0].line_state(LINE)
+        assert dirty  # zeroing dirties the line
+
+    def test_zero_on_missing_line(self):
+        soc = Soc()
+        soc.run_programs([[Instr.zero(LINE), Instr.load(LINE + 16)]])
+        soc.drain()
+        assert soc.cores[0].load_result(1) == 0
+
+    def test_zero_then_flush_persists_zeros(self):
+        soc = dirty_soc(value=123)
+        # first make 123 persistent, then zero + flush
+        soc.run_programs(
+            [[
+                Instr.clean(LINE),
+                Instr.fence(),
+                Instr.zero(LINE),
+                Instr.flush(LINE),
+                Instr.fence(),
+            ]]
+        )
+        soc.drain()
+        assert soc.persisted_value(LINE) == 0
+
+    def test_zero_revokes_sharers(self):
+        soc = Soc()
+        soc.run_programs([[Instr.load(LINE)], [Instr.load(LINE)]])
+        soc.drain()
+        soc.run_programs([[Instr.zero(LINE)]])
+        soc.drain()
+        assert soc.l1s[1].line_state(LINE) is None
+
+
+class TestCrossKindCoalescing:
+    """The §5.3 future-work optimization, off by default."""
+
+    def _soc(self, cross):
+        params = SoCParams(
+            flush_unit=FlushUnitParams(coalesce_cross_kind=cross)
+        )
+        soc = Soc(params)
+        soc.run_programs([[Instr.store(LINE, 9)]])
+        soc.drain()
+        return soc
+
+    def test_disabled_by_default_nacks(self):
+        soc = self._soc(cross=False)
+        fu = soc.l1s[0].flush_unit
+        fu.offer(LINE, CboKind.FLUSH, soc.l1s[0].meta.lookup(LINE))
+        assert (
+            fu.offer(LINE, CboKind.CLEAN, soc.l1s[0].meta.lookup(LINE))
+            is OfferResult.NACK
+        )
+
+    def test_clean_merges_into_pending_flush(self):
+        soc = self._soc(cross=True)
+        fu = soc.l1s[0].flush_unit
+        fu.offer(LINE, CboKind.FLUSH, soc.l1s[0].meta.lookup(LINE))
+        result = fu.offer(LINE, CboKind.CLEAN, soc.l1s[0].meta.lookup(LINE))
+        assert result is OfferResult.COALESCED
+        assert fu.stats.get("coalesced_cross") == 1
+
+    def test_flush_upgrades_pending_clean(self):
+        soc = self._soc(cross=True)
+        fu = soc.l1s[0].flush_unit
+        fu.offer(LINE, CboKind.CLEAN, soc.l1s[0].meta.lookup(LINE))
+        result = fu.offer(LINE, CboKind.FLUSH, soc.l1s[0].meta.lookup(LINE))
+        assert result is OfferResult.COALESCED
+        assert fu.queue.peek().kind is CboKind.FLUSH
+        # the upgraded entry executes as a flush: line ends invalidated
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE) is None
+        assert soc.persisted_value(LINE) == 9
+
+    def test_inval_never_cross_coalesces(self):
+        soc = self._soc(cross=True)
+        fu = soc.l1s[0].flush_unit
+        fu.offer(LINE, CboKind.FLUSH, soc.l1s[0].meta.lookup(LINE))
+        assert (
+            fu.offer(LINE, CboKind.INVAL, soc.l1s[0].meta.lookup(LINE))
+            is OfferResult.NACK
+        )
+
+    def test_cross_coalescing_preserves_semantics(self):
+        """clean;flush merged: the persistence obligation is met at the
+        fence.  (If the clean completes first, §6.1 legitimately drops the
+        flush — including its invalidation — because the line is already
+        persisted, so residency is not asserted here.)"""
+        params = SoCParams(flush_unit=FlushUnitParams(coalesce_cross_kind=True))
+        soc = Soc(params)
+        soc.run_programs(
+            [[
+                Instr.store(LINE, 4),
+                Instr.clean(LINE),
+                Instr.flush(LINE),
+                Instr.fence(),
+            ]]
+        )
+        soc.drain()
+        assert soc.persisted_value(LINE) == 4
+        state = soc.l1s[0].line_state(LINE)
+        if state is not None:
+            # dropped flush: line must then be clean and persisted
+            _, dirty, skip = state
+            assert not dirty and skip

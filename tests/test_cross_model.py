@@ -1,0 +1,90 @@
+"""Cross-validation: the cycle model and the timing model agree.
+
+Both simulation levels implement the same architectural semantics (MESI +
+skip bit + §4 writeback rules); running the same single-threaded program
+on both must produce the same persisted memory image and the same
+skip/issue decisions on redundant writebacks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+from repro.uarch.cpu import Instr
+from repro.uarch.requests import MemOp
+from repro.uarch.soc import Soc
+
+LINES = [0x3000 + i * 64 for i in range(4)]
+
+
+def instr_strategy():
+    address = st.sampled_from(LINES)
+    value = st.integers(min_value=1, max_value=2**31)
+    return st.one_of(
+        st.builds(Instr.store, address, value),
+        st.builds(Instr.clean, address),
+        st.builds(Instr.flush, address),
+        st.just(Instr.fence()),
+    )
+
+
+def run_cycle_model(program):
+    soc = Soc()
+    soc.run_programs([program])
+    soc.drain()
+    return soc
+
+
+def run_timing_model(program):
+    system = TimingSystem(TimingParams(num_threads=1))
+    thread = system.threads[0]
+    for instr in program:
+        if instr.op is MemOp.STORE:
+            thread.store(instr.address, instr.data)
+        elif instr.op is MemOp.CBO_CLEAN:
+            thread.clean(instr.address)
+        elif instr.op is MemOp.CBO_FLUSH:
+            thread.flush(instr.address)
+        elif instr.op is MemOp.FENCE:
+            thread.fence()
+    return system
+
+
+class TestPersistedImageAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(program=st.lists(instr_strategy(), min_size=1, max_size=20))
+    def test_fenced_state_matches(self, program):
+        """After a trailing fence, both models persist identical words."""
+        program = program + [Instr.fence()]
+        soc = run_cycle_model(program)
+        system = run_timing_model(program)
+        touched = {
+            instr.address for instr in program if instr.op is MemOp.STORE
+        }
+        for address in touched:
+            assert soc.persisted_value(address) == system.persisted.get(
+                address, 0
+            ), f"models disagree at {address:#x}"
+
+    def test_redundant_clean_skipped_in_both(self):
+        program = [
+            Instr.store(LINES[0], 5),
+            Instr.clean(LINES[0]),
+            Instr.fence(),
+            Instr.clean(LINES[0]),
+            Instr.fence(),
+        ]
+        soc = run_cycle_model(program)
+        system = run_timing_model(program)
+        assert soc.l1s[0].flush_unit.stats.get("skipped") == 1
+        assert system.stats.get("cbo_skipped") == 1
+
+    def test_flush_invalidates_in_both(self):
+        program = [Instr.store(LINES[0], 5), Instr.flush(LINES[0]), Instr.fence()]
+        soc = run_cycle_model(program)
+        system = run_timing_model(program)
+        assert soc.l1s[0].line_state(LINES[0]) is None
+        assert system.l1s[0].get(LINES[0]) is None
+        assert soc.l2.line_dirty(LINES[0]) is None
+        assert system.l2.get(LINES[0]) is None

@@ -1,0 +1,86 @@
+"""Unit tests for the RISC-V CMO/FENCE instruction encodings."""
+
+import pytest
+
+from repro.core.encodings import (
+    CboInstruction,
+    CboOp,
+    FenceInstruction,
+    MISC_MEM_OPCODE,
+    decode,
+    disassemble,
+    encode_cbo,
+    encode_fence,
+)
+
+
+class TestCboEncoding:
+    @pytest.mark.parametrize(
+        "op,selector",
+        [(CboOp.INVAL, 0), (CboOp.CLEAN, 1), (CboOp.FLUSH, 2), (CboOp.ZERO, 4)],
+    )
+    def test_selector_values(self, op, selector):
+        word = encode_cbo(op, rs1=10)
+        assert (word >> 20) & 0xFFF == selector
+
+    def test_opcode_and_funct3(self):
+        word = encode_cbo(CboOp.FLUSH, rs1=5)
+        assert word & 0x7F == MISC_MEM_OPCODE
+        assert (word >> 12) & 0x7 == 0b010
+        assert (word >> 7) & 0x1F == 0  # rd = x0
+
+    def test_known_word(self):
+        # cbo.flush 0(x10): imm=2, rs1=10, funct3=010, rd=0, opcode=0001111
+        assert encode_cbo(CboOp.FLUSH, 10) == (2 << 20) | (10 << 15) | (2 << 12) | 0xF
+
+    def test_roundtrip(self):
+        for op in CboOp:
+            for rs1 in (0, 1, 15, 31):
+                decoded = decode(encode_cbo(op, rs1))
+                assert isinstance(decoded, CboInstruction)
+                assert decoded.op is op and decoded.rs1 == rs1
+
+    def test_invalid_register(self):
+        with pytest.raises(ValueError):
+            encode_cbo(CboOp.CLEAN, rs1=32)
+
+    def test_unknown_selector_decodes_none(self):
+        bogus = (3 << 20) | (1 << 15) | (0b010 << 12) | MISC_MEM_OPCODE
+        assert decode(bogus) is None
+
+
+class TestFenceEncoding:
+    def test_default_is_fence_rw_rw(self):
+        word = encode_fence()
+        decoded = decode(word)
+        assert isinstance(decoded, FenceInstruction)
+        assert decoded.pred == 0b0011 and decoded.succ == 0b0011
+
+    def test_roundtrip_all_strengths(self):
+        for pred in range(16):
+            for succ in range(16):
+                decoded = decode(encode_fence(pred, succ))
+                assert decoded.pred == pred and decoded.succ == succ
+
+    def test_field_bounds(self):
+        with pytest.raises(ValueError):
+            FenceInstruction(pred=16).encode()
+
+
+class TestDecodeAndDisassemble:
+    def test_non_misc_mem_decodes_none(self):
+        assert decode(0x0000_0033) is None  # an ADD
+
+    def test_unknown_funct3_decodes_none(self):
+        word = (0b011 << 12) | MISC_MEM_OPCODE
+        assert decode(word) is None
+
+    def test_disassemble_cbo(self):
+        assert disassemble(encode_cbo(CboOp.CLEAN, 7)) == "cbo.clean 0(x7)"
+        assert disassemble(encode_cbo(CboOp.FLUSH, 31)) == "cbo.flush 0(x31)"
+
+    def test_disassemble_fence(self):
+        assert disassemble(encode_fence()) == "fence rw,rw"
+
+    def test_disassemble_unknown(self):
+        assert disassemble(0x33) is None

@@ -1,0 +1,89 @@
+"""Unit tests for the flush queue and its invalidation hooks (§5.4)."""
+
+import pytest
+
+from repro.core.flush_queue import CboKind, FlushQueue, FlushRequest
+from repro.tilelink.permissions import Cap, Perm
+
+
+def make_request(address=0x1000, clean=False, hit=True, dirty=True, perm=Perm.TRUNK):
+    return FlushRequest(
+        address=address,
+        kind=CboKind.CLEAN if clean else CboKind.FLUSH,
+        is_hit=hit,
+        is_dirty=dirty,
+        way=0 if hit else -1,
+        perm=perm if hit else Perm.NONE,
+    )
+
+
+class TestFlushRequest:
+    def test_probe_ton_turns_into_miss_entry(self):
+        req = make_request()
+        req.apply_downgrade(Cap.toN)
+        assert not req.is_hit and not req.is_dirty
+        assert req.perm is Perm.NONE
+        assert req.way == -1
+
+    def test_probe_tob_clears_dirty_keeps_hit(self):
+        req = make_request()
+        req.apply_downgrade(Cap.toB)
+        assert req.is_hit and not req.is_dirty
+        assert req.perm is Perm.BRANCH
+
+    def test_probe_tot_is_noop(self):
+        req = make_request()
+        req.apply_downgrade(Cap.toT)
+        assert req.is_hit and req.is_dirty
+        assert req.perm is Perm.TRUNK
+
+    def test_eviction_equals_full_revoke(self):
+        req = make_request()
+        req.apply_eviction()
+        assert not req.is_hit and req.perm is Perm.NONE
+
+
+class TestFlushQueue:
+    def test_fifo(self):
+        q = FlushQueue(depth=4)
+        a, b = make_request(0x40), make_request(0x80)
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+        assert q.peek() is b
+
+    def test_depth_enforced(self):
+        q = FlushQueue(depth=1)
+        q.push(make_request())
+        assert q.full
+        with pytest.raises(RuntimeError):
+            q.push(make_request())
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            FlushQueue(depth=0)
+
+    def test_entries_for_line(self):
+        q = FlushQueue(depth=4)
+        q.push(make_request(0x40))
+        q.push(make_request(0x80))
+        q.push(make_request(0x40, clean=True))
+        assert len(q.entries_for(0x40)) == 2
+        assert q.has_line(0x80)
+        assert not q.has_line(0xC0)
+
+    def test_probe_invalidate_touches_all_matches(self):
+        q = FlushQueue(depth=4)
+        q.push(make_request(0x40))
+        q.push(make_request(0x40, clean=True))
+        q.push(make_request(0x80))
+        touched = q.probe_invalidate(0x40, Cap.toN)
+        assert touched == 2
+        assert all(not e.is_hit for e in q.entries_for(0x40))
+        assert q.entries_for(0x80)[0].is_hit  # unrelated line untouched
+
+    def test_evict_invalidate(self):
+        q = FlushQueue(depth=2)
+        q.push(make_request(0x40))
+        assert q.evict_invalidate(0x40) == 1
+        assert not q.peek().is_hit

@@ -1,0 +1,192 @@
+"""Unit tests for the flush unit: offer policy, Skip It, counters (§5, §6)."""
+
+import pytest
+
+from repro.core.flush_queue import CboKind
+from repro.core.flush_unit import OfferResult
+from repro.sim.config import SoCParams
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+
+LINE = 0x4000
+
+
+def warm_soc(skip_it=True, dirty=True, **kwargs):
+    """A SoC whose core 0 holds LINE (dirty or clean) in its L1."""
+    params = SoCParams(**kwargs).with_skip_it(skip_it)
+    soc = Soc(params)
+    program = [Instr.store(LINE, 7)]
+    if not dirty:
+        program += [Instr.clean(LINE), Instr.fence()]
+    soc.run_programs([program])
+    soc.drain()
+    return soc
+
+
+class TestOffer:
+    def test_accept_enqueues_and_counts(self):
+        soc = warm_soc()
+        fu = soc.l1s[0].flush_unit
+        hit = soc.l1s[0].meta.lookup(LINE)
+        assert fu.offer(LINE, CboKind.FLUSH, hit=hit) is OfferResult.ACCEPTED
+        assert fu.flush_counter == 1
+        assert fu.flushing
+
+    def test_skip_it_drops_persisted_line(self):
+        soc = warm_soc(dirty=False)  # clean completed: line persisted
+        l1 = soc.l1s[0]
+        perm, dirty, skip = l1.line_state(LINE)
+        assert not dirty and skip
+        fu = l1.flush_unit
+        result = fu.offer(LINE, CboKind.CLEAN, hit=l1.meta.lookup(LINE))
+        assert result is OfferResult.SKIPPED
+        assert fu.flush_counter == 0  # drops never enter the queue
+
+    def test_skip_disabled_always_executes(self):
+        soc = warm_soc(skip_it=False, dirty=False)
+        l1 = soc.l1s[0]
+        result = l1.flush_unit.offer(LINE, CboKind.CLEAN, hit=l1.meta.lookup(LINE))
+        assert result is OfferResult.ACCEPTED
+
+    def test_dirty_line_never_skipped(self):
+        soc = warm_soc(dirty=True)
+        l1 = soc.l1s[0]
+        result = l1.flush_unit.offer(LINE, CboKind.CLEAN, hit=l1.meta.lookup(LINE))
+        assert result is OfferResult.ACCEPTED
+
+    def test_same_kind_coalesces(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        assert fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE)) is OfferResult.ACCEPTED
+        assert fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE)) is OfferResult.COALESCED
+        assert fu.flush_counter == 1  # coalesced requests do not re-count
+
+    def test_different_kind_nacks(self):
+        """A clean may not coalesce with a pending flush (§5.3)."""
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        assert fu.offer(LINE, CboKind.CLEAN, l1.meta.lookup(LINE)) is OfferResult.NACK
+
+    def test_queue_full_nacks(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        depth = soc.params.flush_unit.flush_queue_depth
+        for i in range(depth):
+            address = 0x100000 + i * 64
+            assert fu.offer(address, CboKind.FLUSH, None) is OfferResult.ACCEPTED
+        assert fu.offer(0x900000, CboKind.FLUSH, None) is OfferResult.NACK
+
+
+class TestSignals:
+    def test_flush_rdy_low_while_fshr_active(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        assert fu.flush_rdy
+        fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        # tick until the request is dequeued into an FSHR
+        for _ in range(4):
+            soc.engine.step()
+            if not fu.flush_rdy:
+                break
+        assert not fu.flush_rdy
+        soc.drain()
+        assert fu.flush_rdy
+
+    def test_flush_counter_drains_on_ack(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        soc.drain()
+        assert fu.flush_counter == 0
+        assert fu.stats.get("acks") == 1
+
+
+class TestStoreLoadInterlocks:
+    """The §5.3 rules, exercised through the public query API."""
+
+    def test_store_blocked_by_queued_flush(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        l1.flush_unit.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        assert not l1.flush_unit.store_may_proceed(LINE)
+
+    def test_store_allowed_after_clean_buffer_fill(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.CLEAN, l1.meta.lookup(LINE))
+        # run until the FSHR has filled its buffer
+        for _ in range(20):
+            soc.engine.step()
+            fshr = fu.fshr_for(LINE)
+            if fshr is not None and fshr.buffer_filled:
+                break
+        else:
+            pytest.fail("FSHR never filled its buffer")
+        assert fu.store_may_proceed(LINE)
+
+    def test_load_forward_from_filled_buffer(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        for _ in range(20):
+            soc.engine.step()
+            fshr = fu.fshr_for(LINE)
+            if fshr is not None and fshr.buffer_filled:
+                break
+        data = fu.load_forward(LINE)
+        assert data is not None
+        assert int.from_bytes(data[:8], "little") == 7
+
+    def test_load_must_wait_while_queued(self):
+        soc = warm_soc()
+        l1 = soc.l1s[0]
+        l1.flush_unit.offer(LINE, CboKind.FLUSH, l1.meta.lookup(LINE))
+        assert l1.flush_unit.load_must_wait(LINE)
+
+    def test_unrelated_line_unaffected(self):
+        soc = warm_soc()
+        fu = soc.l1s[0].flush_unit
+        fu.offer(LINE, CboKind.FLUSH, soc.l1s[0].meta.lookup(LINE))
+        other = LINE + 0x1000
+        assert fu.store_may_proceed(other)
+        assert not fu.load_must_wait(other)
+        assert not fu.pending_for(other)
+
+
+class TestSkipBitLifecycle:
+    def test_clean_completion_sets_skip(self):
+        soc = warm_soc(dirty=False)
+        _, _, skip = soc.l1s[0].line_state(LINE)
+        assert skip
+
+    def test_store_clears_skip(self):
+        soc = warm_soc(dirty=False)
+        soc.run_programs([[Instr.store(LINE, 8)]])
+        soc.drain()
+        _, dirty, skip = soc.l1s[0].line_state(LINE)
+        assert dirty and not skip
+
+    def test_grant_data_dirty_leaves_skip_unset(self):
+        """Cross-core: a line dirty in L2 arrives with GrantDataDirty (§6.1)."""
+        soc = warm_soc()  # core 0 holds LINE dirty
+        soc.run_programs([[], [Instr.load(LINE)]])
+        soc.drain()
+        # core 0 was probed toB: its dirty data moved to L2 (L2 now dirty)
+        assert soc.l2.line_dirty(LINE) is True
+        _, dirty, skip = soc.l1s[1].line_state(LINE)
+        assert not dirty and not skip
+
+    def test_grant_data_clean_sets_skip(self):
+        soc = warm_soc(dirty=False)  # persisted everywhere
+        soc.run_programs([[], [Instr.load(LINE)]])
+        soc.drain()
+        _, dirty, skip = soc.l1s[1].line_state(LINE)
+        assert not dirty and skip

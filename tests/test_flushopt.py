@@ -1,0 +1,169 @@
+"""Unit tests for the redundant-writeback filters (§7.4)."""
+
+import pytest
+
+from repro.persist.flushopt import (
+    FlitAdjacent,
+    FlitHashTable,
+    LinkAndPersist,
+    Plain,
+    SkipItHardware,
+    _LNP_BIT,
+    make_optimizer,
+)
+from repro.persist.heap import SimHeap
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+
+def ctx(skip_it=False):
+    return TimingSystem(TimingParams(num_threads=1, skip_it=skip_it)).threads[0]
+
+
+class TestPlain:
+    def test_always_issues(self):
+        t = ctx()
+        opt = Plain()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 2
+
+
+class TestSkipItHardware:
+    def test_hardware_filters_second_flush(self):
+        t = ctx(skip_it=True)
+        opt = SkipItHardware()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)  # issued (dirty)
+        # flush invalidated the line; re-read it (fills with skip set)
+        assert opt.read(t, 0x40) == 1
+        opt.flush(t, 0x40)  # dropped by the skip bit
+        assert t.system.stats.get("cbo_issued") == 1
+        assert t.system.stats.get("cbo_skipped") == 1
+
+    def test_no_software_state(self):
+        assert SkipItHardware().field_stride == 8
+
+
+class TestFlitAdjacent:
+    def test_counter_lives_next_to_word(self):
+        opt = FlitAdjacent()
+        assert opt._counter_of(0x40) == 0x48
+        assert opt.field_stride == 16
+
+    def test_filters_unwritten_word(self):
+        t = ctx()
+        opt = FlitAdjacent()
+        opt.flush(t, 0x40)  # counter is 0: filtered
+        assert t.system.stats.get("cbo_issued") == 0
+
+    def test_issues_after_write_then_filters(self):
+        t = ctx()
+        opt = FlitAdjacent()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 1
+
+    def test_cas_sets_counter(self):
+        t = ctx()
+        opt = FlitAdjacent()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)
+        assert opt.cas(t, 0x40, 1, 2)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 2
+
+    def test_declare_persisted_clears_counters(self):
+        t = ctx()
+        opt = FlitAdjacent()
+        opt.write(t, 0x40, 1)
+        t.system.persist_all()
+        opt.declare_persisted(t.system)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 0
+
+
+class TestFlitHashTable:
+    def test_counters_in_separate_region(self):
+        heap = SimHeap()
+        opt = FlitHashTable(heap, table_entries=64)
+        counter = opt._counter_of(0x40)
+        assert opt.table_base <= counter < opt.table_base + 64 * 8
+
+    def test_collisions_are_conservative(self):
+        """Aliased words share a counter: extra flushes, never missed ones."""
+        heap = SimHeap()
+        opt = FlitHashTable(heap, table_entries=1)  # everything aliases
+        t = ctx()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x1000)  # different line, same (only) counter: issues
+        assert t.system.stats.get("cbo_issued") == 1
+
+    def test_filters_after_clear(self):
+        heap = SimHeap()
+        opt = FlitHashTable(heap, table_entries=64)
+        t = ctx()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlitHashTable(SimHeap(), table_entries=0)
+
+    def test_describe_includes_size(self):
+        assert "64" in FlitHashTable(SimHeap(), table_entries=64).describe()
+
+
+class TestLinkAndPersist:
+    def test_mark_roundtrip_invisible_to_reader(self):
+        t = ctx()
+        opt = LinkAndPersist()
+        opt.write(t, 0x40, 123)
+        assert opt.read(t, 0x40) == 123
+        assert t.system.arch[0x40] & _LNP_BIT  # raw word carries the mark
+
+    def test_flush_clears_mark_and_filters(self):
+        t = ctx()
+        opt = LinkAndPersist()
+        opt.write(t, 0x40, 1)
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 1
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 1  # mark cleared
+
+    def test_cas_through_marks(self):
+        t = ctx()
+        opt = LinkAndPersist()
+        opt.write(t, 0x40, 5)
+        assert opt.cas(t, 0x40, 5, 6)
+        assert opt.read(t, 0x40) == 6
+        assert not opt.cas(t, 0x40, 5, 7)
+
+    def test_not_applicable_to_pointer_tagging(self):
+        assert not LinkAndPersist.supports_pointer_tagging_structures
+
+    def test_declare_persisted_strips_marks(self):
+        t = ctx()
+        opt = LinkAndPersist()
+        opt.write(t, 0x40, 1)
+        t.system.persist_all()
+        opt.declare_persisted(t.system)
+        assert t.system.arch[0x40] == 1
+        opt.flush(t, 0x40)
+        assert t.system.stats.get("cbo_issued") == 0
+
+
+class TestFactory:
+    def test_all_names(self):
+        heap = SimHeap()
+        for name in ("plain", "flit-adjacent", "flit-hashtable",
+                     "link-and-persist", "skipit"):
+            assert make_optimizer(name, heap).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_optimizer("bogus", SimHeap())

@@ -1,0 +1,128 @@
+"""Unit tests for the FSHR state machine (Figure 7)."""
+
+import pytest
+
+from repro.core.flush_queue import CboKind, FlushRequest
+from repro.core.fshr import Fshr, FshrState, release_shrink
+from repro.tilelink.permissions import Perm, Shrink
+
+
+def req(clean=False, hit=True, dirty=True, perm=Perm.TRUNK, kind=None):
+    if kind is None:
+        kind = CboKind.CLEAN if clean else CboKind.FLUSH
+    return FlushRequest(
+        address=0x1000,
+        kind=kind,
+        is_hit=hit,
+        is_dirty=dirty,
+        way=0 if hit else -1,
+        perm=perm if hit else Perm.NONE,
+    )
+
+
+class TestExecutionPlans:
+    """The paths of Figure 7, from invalid to root_release_ack."""
+
+    def test_dirty_hit_goes_through_meta_write_and_fill(self):
+        f = Fshr(0)
+        f.accept(req(dirty=True), fill_cycles=1)
+        assert f.state is FshrState.META_WRITE
+        f.after_meta_write()
+        assert f.state is FshrState.FILL_BUFFER
+        assert f.fill_step(b"\x01" * 64)
+        assert f.state is FshrState.ROOT_RELEASE_DATA
+        assert f.buffer == b"\x01" * 64
+
+    def test_clean_hit_flush_invalidates_without_data(self):
+        f = Fshr(0)
+        f.accept(req(clean=False, dirty=False), fill_cycles=1)
+        assert f.state is FshrState.META_WRITE  # flush must still invalidate
+        f.after_meta_write()
+        assert f.state is FshrState.ROOT_RELEASE
+
+    def test_clean_hit_cbo_clean_skips_meta_write(self):
+        f = Fshr(0)
+        f.accept(req(clean=True, dirty=False), fill_cycles=1)
+        assert f.state is FshrState.ROOT_RELEASE
+
+    def test_miss_goes_straight_to_release(self):
+        f = Fshr(0)
+        f.accept(req(hit=False, dirty=False), fill_cycles=1)
+        assert f.state is FshrState.ROOT_RELEASE
+
+    def test_narrow_data_array_takes_multiple_cycles(self):
+        f = Fshr(0)
+        f.accept(req(), fill_cycles=8)
+        f.after_meta_write()
+        for _ in range(7):
+            assert not f.fill_step(b"\0" * 64)
+        assert f.fill_step(b"\0" * 64)
+
+
+class TestLifecycle:
+    def test_busy_and_double_accept(self):
+        f = Fshr(0)
+        assert not f.busy
+        f.accept(req(), fill_cycles=1)
+        assert f.busy
+        with pytest.raises(RuntimeError):
+            f.accept(req(), fill_cycles=1)
+
+    def test_flush_rdy_window(self):
+        """holds_line_exclusive is low exactly until the ack wait (§5.4.1)."""
+        f = Fshr(0)
+        f.accept(req(dirty=False, clean=True), fill_cycles=1)
+        assert f.holds_line_exclusive
+        f.sent_release()
+        assert f.awaiting_ack
+        assert not f.holds_line_exclusive
+
+    def test_complete_frees(self):
+        f = Fshr(0)
+        request = req()
+        f.accept(request, fill_cycles=1)
+        f.after_meta_write()
+        f.fill_step(b"\0" * 64)
+        f.sent_release()
+        assert f.complete() is request
+        assert not f.busy
+        assert f.buffer is None
+
+    def test_complete_in_wrong_state_rejected(self):
+        f = Fshr(0)
+        f.accept(req(), fill_cycles=1)
+        with pytest.raises(RuntimeError):
+            f.complete()
+
+    def test_buffer_forwarding_flag(self):
+        f = Fshr(0)
+        f.accept(req(), fill_cycles=1)
+        assert not f.buffer_filled
+        f.after_meta_write()
+        f.fill_step(b"\xab" * 64)
+        assert f.buffer_filled
+
+
+class TestReleaseShrink:
+    """The shrink/report param the RootRelease carries (§5.1/§5.5)."""
+
+    def test_flush_of_trunk(self):
+        assert release_shrink(req(clean=False, perm=Perm.TRUNK)) is Shrink.TtoN
+
+    def test_flush_of_branch(self):
+        assert (
+            release_shrink(req(clean=False, dirty=False, perm=Perm.BRANCH))
+            is Shrink.BtoN
+        )
+
+    def test_clean_reports_trunk(self):
+        assert release_shrink(req(clean=True, perm=Perm.TRUNK)) is Shrink.TtoT
+
+    def test_clean_reports_branch(self):
+        assert (
+            release_shrink(req(clean=True, dirty=False, perm=Perm.BRANCH))
+            is Shrink.BtoB
+        )
+
+    def test_miss_reports_nton(self):
+        assert release_shrink(req(hit=False)) is Shrink.NtoN

@@ -1,0 +1,166 @@
+"""Unit tests for the L1 data cache request paths."""
+
+import pytest
+
+from repro.sim.config import CacheGeometry, SoCParams
+from repro.tilelink.permissions import Perm
+from repro.uarch.cpu import Instr
+from repro.uarch.l1 import FireStatus
+from repro.uarch.requests import MemOp, MemRequest
+from repro.uarch.soc import Soc
+
+LINE = 0x8000
+
+
+def soc_with_resident_line(dirty=True, **kwargs):
+    soc = Soc(SoCParams(**kwargs))
+    program = [Instr.store(LINE, 42)]
+    if not dirty:
+        program += [Instr.clean(LINE), Instr.fence()]
+    soc.run_programs([program])
+    soc.drain()
+    return soc
+
+
+class TestLoads:
+    def test_load_hit_returns_data(self):
+        soc = soc_with_resident_line()
+        outcome = soc.l1s[0].fire(MemRequest(MemOp.LOAD, LINE), soc.engine.cycle)
+        assert outcome.status is FireStatus.OK_NOW
+        assert outcome.value == 42
+
+    def test_load_miss_allocates_mshr(self):
+        soc = Soc()
+        outcome = soc.l1s[0].fire(MemRequest(MemOp.LOAD, 0x9000), 1)
+        assert outcome.status is FireStatus.OK_LATER
+        assert any(m.busy for m in soc.l1s[0].mshrs)
+
+    def test_load_word_granularity(self):
+        soc = Soc()
+        soc.run_programs([[Instr.store(LINE, 1), Instr.store(LINE + 8, 2)]])
+        soc.drain()
+        l1 = soc.l1s[0]
+        assert l1.fire(MemRequest(MemOp.LOAD, LINE), 1).value == 1
+        assert l1.fire(MemRequest(MemOp.LOAD, LINE + 8), 1).value == 2
+
+    def test_unaligned_word_rejected(self):
+        with pytest.raises(ValueError):
+            MemRequest(MemOp.LOAD, LINE + 3)
+
+    def test_secondary_load_rides_mshr(self):
+        soc = Soc()
+        l1 = soc.l1s[0]
+        first = l1.fire(MemRequest(MemOp.LOAD, 0x9000), 1)
+        second = l1.fire(MemRequest(MemOp.LOAD, 0x9008), 1)
+        assert first.status is FireStatus.OK_LATER
+        assert second.status is FireStatus.OK_LATER
+        assert sum(m.busy for m in l1.mshrs) == 1  # one MSHR, two requests
+
+    def test_store_cannot_ride_load_mshr(self):
+        """RPQ permission rule (§3.3): store secondary on a load MSHR nacks."""
+        soc = Soc()
+        l1 = soc.l1s[0]
+        l1.fire(MemRequest(MemOp.LOAD, 0x9000), 1)
+        outcome = l1.fire(MemRequest(MemOp.STORE, 0x9008, data=1), 1)
+        assert outcome.status is FireStatus.NACK
+
+    def test_load_rides_store_mshr(self):
+        soc = Soc()
+        l1 = soc.l1s[0]
+        l1.fire(MemRequest(MemOp.STORE, 0x9000, data=1), 1)
+        outcome = l1.fire(MemRequest(MemOp.LOAD, 0x9008), 1)
+        assert outcome.status is FireStatus.OK_LATER
+
+
+class TestStores:
+    def test_store_hit_dirties(self):
+        soc = soc_with_resident_line(dirty=False)
+        l1 = soc.l1s[0]
+        outcome = l1.fire(MemRequest(MemOp.STORE, LINE, data=9), 1)
+        assert outcome.status is FireStatus.OK_NOW
+        perm, dirty, skip = l1.line_state(LINE)
+        assert perm is Perm.TRUNK and dirty and not skip
+
+    def test_store_to_shared_line_upgrades(self):
+        soc = Soc()
+        # core 0 and 1 both read -> both BRANCH
+        soc.run_programs([[Instr.load(LINE)], [Instr.load(LINE)]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE)[0] is Perm.BRANCH
+        soc.run_programs([[Instr.store(LINE, 5)]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE)[0] is Perm.TRUNK
+        assert soc.l1s[1].line_state(LINE) is None  # revoked by the probe
+        assert soc.l1s[0].stats.get("store_upgrades") == 1
+
+    def test_mshr_exhaustion_nacks(self):
+        soc = Soc()
+        l1 = soc.l1s[0]
+        for i in range(soc.params.num_l1_mshrs):
+            assert l1.fire(
+                MemRequest(MemOp.STORE, 0xA000 + i * 64, data=i), 1
+            ).ok
+        outcome = l1.fire(MemRequest(MemOp.STORE, 0xF000, data=0), 1)
+        assert outcome.status is FireStatus.NACK
+        assert l1.stats.get("mshr_full_nack") == 1
+
+
+class TestEviction:
+    def test_capacity_eviction_writes_back(self):
+        # tiny L1: 2 sets x 2 ways
+        params = SoCParams(
+            l1=CacheGeometry(size_bytes=256, ways=2), num_l1_mshrs=2
+        )
+        soc = Soc(params)
+        stride = params.l1.num_sets * 64  # same set
+        program = [Instr.store(0x10000 + i * stride, i) for i in range(3)]
+        soc.run_programs([program])
+        soc.drain()
+        assert soc.l1s[0].wbu.evictions >= 1
+        # the evicted dirty line made it to L2 intact
+        victim = 0x10000
+        assert soc.coherent_value(victim) == 0
+
+    def test_eviction_data_survives_roundtrip(self):
+        params = SoCParams(l1=CacheGeometry(size_bytes=256, ways=2))
+        soc = Soc(params)
+        stride = params.l1.num_sets * 64
+        addresses = [0x20000 + i * stride for i in range(4)]
+        soc.run_programs([[Instr.store(a, i + 1) for i, a in enumerate(addresses)]])
+        soc.drain()
+        soc.run_programs([[Instr.load(a) for a in addresses]])
+        soc.drain()
+        for i, a in enumerate(addresses):
+            assert soc.coherent_value(a) == i + 1
+
+
+class TestCboFiring:
+    def test_cbo_racing_own_mshr_nacks(self):
+        soc = Soc()
+        l1 = soc.l1s[0]
+        l1.fire(MemRequest(MemOp.STORE, 0x9000, data=1), 1)
+        outcome = l1.fire(MemRequest(MemOp.CBO_FLUSH, 0x9000), 1)
+        assert outcome.status is FireStatus.NACK
+        assert l1.stats.get("cbo_nack_mshr") == 1
+
+    def test_cbo_miss_still_accepted(self):
+        """A missing line still sends RootRelease (§5.2): dirty data may
+        exist elsewhere in the hierarchy."""
+        soc = Soc()
+        outcome = soc.l1s[0].fire(MemRequest(MemOp.CBO_FLUSH, 0xB000), 1)
+        assert outcome.status is FireStatus.OK_NOW
+        soc.drain()
+        assert soc.l2.stats.get("root_release_flush") == 1
+
+    def test_flush_invalidates_line(self):
+        soc = soc_with_resident_line()
+        soc.run_programs([[Instr.flush(LINE), Instr.fence()]])
+        soc.drain()
+        assert soc.l1s[0].line_state(LINE) is None
+
+    def test_clean_keeps_line_resident(self):
+        soc = soc_with_resident_line()
+        soc.run_programs([[Instr.clean(LINE), Instr.fence()]])
+        soc.drain()
+        perm, dirty, _ = soc.l1s[0].line_state(LINE)
+        assert perm is Perm.TRUNK and not dirty

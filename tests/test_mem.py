@@ -1,0 +1,100 @@
+"""Unit tests for main memory and the DRAM front-end."""
+
+import pytest
+
+from repro.mem.dram import DramModel
+from repro.mem.memory import MainMemory
+from repro.sim.engine import Engine
+from repro.tilelink.messages import Acquire, GrantData, Release, ReleaseAck
+
+
+class TestMainMemory:
+    def test_untouched_reads_zero(self):
+        mem = MainMemory()
+        assert mem.read_line(0x1000) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        mem = MainMemory()
+        data = bytes(range(64))
+        mem.write_line(0x40, data)
+        assert mem.read_line(0x40) == data
+
+    def test_alignment_enforced(self):
+        mem = MainMemory()
+        with pytest.raises(ValueError):
+            mem.read_line(0x41)
+        with pytest.raises(ValueError):
+            mem.write_line(0x7, bytes(64))
+
+    def test_size_enforced(self):
+        with pytest.raises(ValueError):
+            MainMemory().write_line(0, b"short")
+
+    def test_peek_does_not_count(self):
+        mem = MainMemory()
+        mem.peek_line(0)
+        assert mem.reads == 0
+        mem.read_line(0)
+        assert mem.reads == 1
+
+    def test_snapshot_is_copy(self):
+        mem = MainMemory()
+        mem.write_line(0, bytes(64))
+        snap = mem.snapshot()
+        mem.write_line(0, bytes([1] * 64))
+        assert snap[0] == bytes(64)
+
+    def test_lines_iterates_written(self):
+        mem = MainMemory()
+        mem.write_line(0x80, bytes(64))
+        assert dict(mem.lines()) == {0x80: bytes(64)}
+
+
+class TestDramModel:
+    def _mk(self, latency=10):
+        engine = Engine()
+        memory = MainMemory()
+        dram = DramModel(engine, memory, latency=latency)
+        return engine, memory, dram
+
+    def test_acquire_returns_grant_data(self):
+        engine, memory, dram = self._mk()
+        memory.write_line(0x100, bytes([7] * 64))
+        dram.chan_a.send(Acquire(source=100, address=0x100), engine.cycle)
+        grant = None
+        for _ in range(40):
+            engine.step()
+            grant = dram.chan_d.pop_ready(engine.cycle)
+            if grant:
+                break
+        assert isinstance(grant, GrantData)
+        assert grant.data == bytes([7] * 64)
+        assert not grant.dirty  # DRAM data is by definition persisted
+
+    def test_release_writes_and_acks(self):
+        engine, memory, dram = self._mk()
+        payload = bytes([9] * 64)
+        dram.chan_c.send(
+            Release(source=100, address=0x200, data=payload), engine.cycle
+        )
+        ack = None
+        for _ in range(40):
+            engine.step()
+            ack = dram.chan_d.pop_ready(engine.cycle)
+            if ack:
+                break
+        assert isinstance(ack, ReleaseAck)
+        assert memory.peek_line(0x200) == payload
+
+    def test_latency_respected(self):
+        engine, memory, dram = self._mk(latency=20)
+        dram.chan_a.send(Acquire(source=100, address=0), engine.cycle)
+        engine.step(15)
+        assert dram.chan_d.pop_ready(engine.cycle) is None
+
+    def test_busy_flag(self):
+        engine, memory, dram = self._mk()
+        assert not dram.busy
+        dram.chan_a.send(Acquire(source=100, address=0), engine.cycle)
+        engine.step(2)
+        assert dram.busy

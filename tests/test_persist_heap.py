@@ -1,0 +1,50 @@
+"""Unit tests for the simulated persistent heap."""
+
+import pytest
+
+from repro.persist.heap import NodeRef, SimHeap
+
+
+class TestSimHeap:
+    def test_alloc_line_aligned(self):
+        heap = SimHeap()
+        ref = heap.alloc(2)
+        assert ref.base % 64 == 0
+
+    def test_allocations_disjoint(self):
+        heap = SimHeap()
+        a = heap.alloc(8)
+        b = heap.alloc(8)
+        assert b.base >= a.base + 64
+
+    def test_field_addresses(self):
+        heap = SimHeap()
+        ref = heap.alloc(3, stride=8)
+        assert ref.field(0) == ref.base
+        assert ref.field(2) == ref.base + 16
+
+    def test_wide_stride_doubles_footprint(self):
+        heap = SimHeap()
+        narrow = heap.alloc(8, stride=8)  # 64B -> 1 line
+        wide = heap.alloc(8, stride=16)  # 128B -> 2 lines
+        assert wide.field(7) - wide.base == 112
+
+    def test_field_bounds_checked(self):
+        ref = SimHeap().alloc(2)
+        with pytest.raises(IndexError):
+            ref.field(2)
+
+    def test_region_alignment_and_separation(self):
+        heap = SimHeap()
+        heap.alloc(4)
+        region = heap.alloc_region(4096)
+        assert region % SimHeap.REGION_ALIGN == 0
+        nxt = heap.alloc(2)
+        assert nxt.base >= region + 4096
+
+    def test_statistics(self):
+        heap = SimHeap()
+        heap.alloc(2)
+        heap.alloc(2)
+        assert heap.allocated_objects == 2
+        assert heap.allocated_bytes == 128

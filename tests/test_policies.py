@@ -1,0 +1,103 @@
+"""Unit tests for the persistence policies and the PMemView frame."""
+
+import pytest
+
+from repro.persist.api import PMemView
+from repro.persist.flushopt import Plain
+from repro.persist.policies import (
+    Automatic,
+    Manual,
+    NonPersistent,
+    NVTraverse,
+    make_policy,
+)
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+
+def view_for(policy):
+    system = TimingSystem(TimingParams(num_threads=1))
+    return PMemView(system.threads[0], policy, Plain()), system
+
+
+class TestPolicyMatrices:
+    def test_automatic_flushes_everything(self):
+        p = Automatic()
+        assert p.flush_on_read(False) and p.flush_on_read(True)
+        assert p.flush_on_write(False) and p.flush_on_write(True)
+        assert p.fence_on_op_end(False) and p.fence_on_op_end(True)
+
+    def test_nvtraverse_flushes_critical_reads_all_writes(self):
+        p = NVTraverse()
+        assert not p.flush_on_read(False)
+        assert p.flush_on_read(True)
+        assert p.flush_on_write(False) and p.flush_on_write(True)
+        assert p.fence_on_op_end(False)
+
+    def test_manual_flushes_critical_writes_only(self):
+        p = Manual()
+        assert not p.flush_on_read(True)
+        assert not p.flush_on_write(False)
+        assert p.flush_on_write(True)
+        assert p.fence_on_op_end(True) and not p.fence_on_op_end(False)
+
+    def test_none_policy(self):
+        p = NonPersistent()
+        assert not p.flush_on_read(True)
+        assert not p.flush_on_write(True)
+        assert not p.fence_on_op_end(True)
+
+    def test_factory(self):
+        for name in ("automatic", "nvtraverse", "manual", "none"):
+            assert make_policy(name).name == name
+        with pytest.raises(ValueError):
+            make_policy("bogus")
+
+
+class TestPMemView:
+    def test_automatic_read_triggers_flush(self):
+        view, system = view_for(Automatic())
+        view.ctx.store(0x40, 1)  # direct store: line dirty
+        view.read(0x40)
+        assert view.flush_requests == 1
+        assert system.stats.get("cbo_issued") == 1
+
+    def test_manual_read_never_flushes(self):
+        view, system = view_for(Manual())
+        view.read(0x40)
+        assert view.flush_requests == 0
+
+    def test_write_critical_flag_respected(self):
+        view, system = view_for(Manual())
+        view.write(0x40, 1, critical=False)
+        assert view.flush_requests == 0
+        view.write(0x40, 2, critical=True)
+        assert view.flush_requests == 1
+
+    def test_op_frame_fences_updates_only(self):
+        view, system = view_for(Manual())
+        view.op_begin()
+        view.read(0x40)
+        view.op_end()
+        assert system.stats.get("fences") == 0
+        view.op_begin()
+        view.write(0x40, 1, critical=True)
+        view.op_end()
+        assert system.stats.get("fences") == 1
+
+    def test_cas_failure_is_not_an_update(self):
+        view, system = view_for(Manual())
+        view.ctx.store(0x40, 5)
+        view.op_begin()
+        assert not view.cas(0x40, 99, 1)
+        view.op_end()
+        assert system.stats.get("fences") == 0
+
+    def test_cas_success_flushes_and_fences(self):
+        view, system = view_for(Manual())
+        view.ctx.store(0x40, 5)
+        view.op_begin()
+        assert view.cas(0x40, 5, 6)
+        view.op_end()
+        assert view.flush_requests == 1
+        assert system.stats.get("fences") == 1

@@ -1,0 +1,142 @@
+"""Tests for the probe unit handshake (§5.4.1), on an isolated L1.
+
+The L1 is instantiated with free-standing channels (no L2 behind them),
+lines are installed directly into its arrays, and probes are injected on
+channel B; the ProbeAcks are observed on channel C.
+"""
+
+from repro.core.flush_queue import CboKind
+from repro.sim.config import SoCParams
+from repro.sim.engine import Engine
+from repro.tilelink.channel import BeatChannel
+from repro.tilelink.messages import Probe
+from repro.tilelink.permissions import Cap, Perm, Shrink
+from repro.uarch.l1 import L1DataCache
+
+LINE = 0xD000
+
+
+def isolated_l1(skip_it=True):
+    engine = Engine(watchdog_interval=0)
+    params = SoCParams().with_skip_it(skip_it)
+    l1 = L1DataCache(engine, agent_id=0, params=params)
+    channels = [BeatChannel(n, 16) for n in "abcde"]
+    l1.connect(*channels)
+    return engine, l1
+
+
+def install(l1, address=LINE, perm=Perm.TRUNK, dirty=True, skip=False, value=55):
+    way = l1.meta.victim_way(address)
+    l1.meta.install(address, way, perm=perm, dirty=dirty, skip=skip)
+    l1.data.write_word(l1.geometry.set_index(address), way, 0, value)
+    return way
+
+
+def collect_ack(engine, l1, max_cycles=10):
+    for _ in range(max_cycles):
+        engine.step()
+        ack = l1.chan_c.pop_ready(engine.cycle)
+        if ack is not None:
+            return ack
+    raise AssertionError("no ProbeAck produced")
+
+
+class TestProbeHandling:
+    def test_probe_ton_surrenders_dirty_data(self):
+        engine, l1 = isolated_l1()
+        install(l1, dirty=True, value=55)
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        ack = collect_ack(engine, l1)
+        assert ack.shrink is Shrink.TtoN
+        assert int.from_bytes(ack.data[:8], "little") == 55
+        assert l1.line_state(LINE) is None
+
+    def test_probe_tob_keeps_clean_copy_clears_skip(self):
+        engine, l1 = isolated_l1()
+        install(l1, dirty=True, skip=True)
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toB), engine.cycle)
+        ack = collect_ack(engine, l1)
+        assert ack.shrink is Shrink.TtoB
+        perm, dirty, skip = l1.line_state(LINE)
+        assert perm is Perm.BRANCH and not dirty
+        assert not skip  # dirty data left for L2: not persisted (§6.2)
+
+    def test_probe_tob_on_clean_line_sends_no_data(self):
+        engine, l1 = isolated_l1()
+        install(l1, dirty=False, skip=True)
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toB), engine.cycle)
+        ack = collect_ack(engine, l1)
+        assert ack.data is None
+        _, _, skip = l1.line_state(LINE)
+        assert skip  # clean downgrade leaves the skip bit intact
+
+    def test_probe_to_absent_line_reports_nton(self):
+        engine, l1 = isolated_l1()
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        ack = collect_ack(engine, l1)
+        assert ack.data is None
+        assert ack.shrink is Shrink.NtoN
+
+    def test_probe_rdy_toggles(self):
+        engine, l1 = isolated_l1()
+        install(l1)
+        assert l1.probe_unit.probe_rdy
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        engine.step()  # probe registered: rdy drops
+        assert not l1.probe_unit.probe_rdy
+        engine.step(3)
+        assert l1.probe_unit.probe_rdy
+        assert l1.probe_unit.probes_handled == 1
+
+    def test_probe_invalidates_pending_flush_entries(self):
+        engine, l1 = isolated_l1()
+        way = install(l1, dirty=True)
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.FLUSH, hit=l1.meta.lookup(LINE))
+        entry = fu.queue.peek()
+        assert entry.is_hit and entry.is_dirty
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        engine.step()  # registration cycle performs probe_invalidate (§5.4.1)
+        assert not entry.is_hit and not entry.is_dirty
+        assert fu.stats.get("probe_invalidated") == 1
+
+    def test_probe_blocked_while_fshr_mutating(self):
+        """flush_rdy gates probes until the FSHR reaches the ack wait."""
+        engine, l1 = isolated_l1()
+        install(l1, dirty=True)
+        fu = l1.flush_unit
+        fu.offer(LINE, CboKind.FLUSH, hit=l1.meta.lookup(LINE))
+        for _ in range(3):
+            engine.step()
+            if not fu.flush_rdy:
+                break
+        assert not fu.flush_rdy
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        engine.step(2)
+        assert l1.probe_unit.probes_stalled_cycles > 0
+        # once the FSHR sends its RootRelease (awaiting ack), probes may go
+        engine.step(10)
+        assert l1.probe_unit.probes_handled == 1
+
+    def test_probe_stalled_by_replaying_mshr(self):
+        """mshr_rdy (§3.3): probes wait while committed stores replay."""
+        engine, l1 = isolated_l1()
+
+        from repro.uarch.mshr import MshrState
+
+        class FakeMshr:
+            def matches(self, address):
+                return address == LINE
+
+            replaying = True
+            state = MshrState.IDLE  # skipped by the MSHR stepper
+
+        l1.mshrs.append(FakeMshr())
+        install(l1, dirty=True)
+        l1.chan_b.send(Probe(source=100, address=LINE, cap=Cap.toN), engine.cycle)
+        engine.step(5)
+        assert l1.probe_unit.probes_handled == 0
+        assert l1.probe_unit.probes_stalled_cycles > 0
+        l1.mshrs.pop()
+        engine.step(3)
+        assert l1.probe_unit.probes_handled == 1

@@ -1,0 +1,122 @@
+"""Property-based tests of the cycle-level model against the §4 oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import WritebackOracle
+from repro.uarch.cpu import Instr
+from repro.uarch.requests import MemOp
+from repro.uarch.soc import Soc
+
+# a small pool of lines, some sharing L1 sets, to provoke interference
+LINES = [0x1000 + i * 64 for i in range(4)] + [0x1000 + 64 * 64, 0x1000 + 65 * 64]
+
+
+def instr_strategy():
+    address = st.sampled_from(LINES)
+    value = st.integers(min_value=1, max_value=2**32)
+    return st.one_of(
+        st.builds(Instr.store, address, value),
+        st.builds(Instr.load, address),
+        st.builds(Instr.clean, address),
+        st.builds(Instr.flush, address),
+        st.just(Instr.fence()),
+    )
+
+
+def oracle_for(program):
+    oracle = WritebackOracle()
+    for instr in program:
+        if instr.op is MemOp.STORE:
+            oracle.write(instr.address, instr.data)
+        elif instr.op.is_cbo:
+            oracle.writeback(instr.address)
+        elif instr.op is MemOp.FENCE:
+            oracle.fence()
+    return oracle
+
+
+class TestSingleCoreSemanticsProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(program=st.lists(instr_strategy(), min_size=1, max_size=25))
+    def test_fence_requirements_hold(self, program):
+        """After any program, everything the §4 oracle requires persisted
+        is in main memory, and loads observe coherent values."""
+        soc = Soc()
+        soc.run_programs([program])
+        soc.drain()
+        oracle = oracle_for(program)
+        assert oracle.check_memory(soc.persisted_value) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=st.lists(instr_strategy(), min_size=1, max_size=25))
+    def test_loads_read_latest_store(self, program):
+        """Single-core, in-order stores: every load sees the most recent
+        same-address store that precedes it in program order."""
+        soc = Soc()
+        soc.run_programs([program])
+        latest = {}
+        for index, instr in enumerate(program):
+            if instr.op is MemOp.STORE:
+                latest[instr.address] = instr.data
+            elif instr.op is MemOp.LOAD:
+                expected = latest.get(instr.address, 0)
+                assert soc.cores[0].load_result(index) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(program=st.lists(instr_strategy(), min_size=1, max_size=25))
+    def test_drain_reaches_quiescence(self, program):
+        soc = Soc()
+        soc.run_programs([program])
+        soc.drain()
+        assert soc.quiescent_check()
+
+
+class TestTwoCoreProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p0=st.lists(instr_strategy(), min_size=1, max_size=15),
+        p1=st.lists(instr_strategy(), min_size=1, max_size=15),
+    )
+    def test_no_deadlock_and_invariants(self, p0, p1):
+        """Contended random programs never deadlock (watchdog would fire),
+        and the hierarchy ends inclusive with an accurate directory."""
+        soc = Soc()
+        soc.run_programs([p0, p1])
+        soc.drain()
+        # inclusion
+        for l1 in soc.l1s:
+            for set_idx, way, entry in l1.meta.iter_valid():
+                address = l1.meta.address_of(set_idx, entry)
+                assert address in soc.l2.lines
+        # directory accuracy + single-writer
+        for address, line in soc.l2.lines.items():
+            writers = 0
+            for client in range(len(soc.l1s)):
+                state = soc.l1s[client].line_state(address)
+                assert (state is not None) == line.directory.holds(client)
+                if state is not None and state[0].writable:
+                    writers += 1
+                    assert line.directory.owner == client
+            assert writers <= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p0=st.lists(instr_strategy(), min_size=1, max_size=12),
+        p1=st.lists(instr_strategy(), min_size=1, max_size=12),
+    )
+    def test_fenced_writebacks_persist_some_store(self, p0, p1):
+        """Under contention, a fenced flush persists *a* value that some
+        thread actually stored (no corruption / made-up data)."""
+        soc = Soc()
+        soc.run_programs([p0, p1])
+        soc.drain()
+        stored = {}
+        for program in (p0, p1):
+            for instr in program:
+                if instr.op is MemOp.STORE:
+                    stored.setdefault(instr.address, set()).add(instr.data)
+        for address in LINES:
+            value = soc.persisted_value(address)
+            if value != 0:
+                assert value in stored.get(address, set())

@@ -1,0 +1,78 @@
+"""Unit tests for the §4 writeback-semantics oracle."""
+
+from repro.core.semantics import WritebackOracle
+
+
+class TestOracle:
+    def test_no_writeback_no_requirement(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        assert o.fence() == {}
+
+    def test_writeback_then_fence_requires_prior_writes(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.write(0x48, 2)  # same line
+        o.writeback(0x40)
+        assert o.fence() == {0x40: 1, 0x48: 2}
+
+    def test_later_writes_not_covered(self):
+        """§4 scenario (b): writes after the writeback are not ordered."""
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        o.write(0x40, 2)  # after the writeback: NOT required at the fence
+        assert o.fence() == {0x40: 1}
+
+    def test_latest_writeback_wins(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        o.write(0x40, 2)
+        o.writeback(0x40)
+        assert o.fence() == {0x40: 2}
+
+    def test_writeback_without_fence_requires_nothing(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        assert o.required_persisted == {}
+
+    def test_lines_are_independent(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.write(0x1000, 9)
+        o.writeback(0x40)
+        assert o.fence() == {0x40: 1}
+
+    def test_writeback_covers_whole_line(self):
+        o = WritebackOracle(line_bytes=64)
+        o.write(0x80, 1)
+        o.write(0xB8, 2)  # same 64B line
+        o.writeback(0x80)
+        assert o.fence() == {0x80: 1, 0xB8: 2}
+
+    def test_requirements_accumulate_across_fences(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        o.fence()
+        o.write(0x1000, 2)
+        o.writeback(0x1000)
+        assert o.fence() == {0x40: 1, 0x1000: 2}
+
+    def test_check_memory_reports_violations(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        o.fence()
+        violations = o.check_memory(lambda addr: 0)
+        assert len(violations) == 1
+        assert "0x40" in violations[0]
+
+    def test_check_memory_passes(self):
+        o = WritebackOracle()
+        o.write(0x40, 1)
+        o.writeback(0x40)
+        o.fence()
+        assert o.check_memory(lambda addr: {0x40: 1}.get(addr, 0)) == []

@@ -1,0 +1,86 @@
+"""Unit tests for the cycle engine and its watchdog."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationDeadlock
+
+
+class TickCounter:
+    def __init__(self, engine=None, progress=False):
+        self.engine = engine
+        self.progress = progress
+        self.ticks = 0
+
+    def tick(self, cycle):
+        self.ticks += 1
+        if self.progress and self.engine is not None:
+            self.engine.note_progress()
+
+
+class TestEngine:
+    def test_step_advances_cycle(self):
+        engine = Engine()
+        engine.step(5)
+        assert engine.cycle == 5
+
+    def test_components_tick_once_per_cycle(self):
+        engine = Engine()
+        a, b = TickCounter(), TickCounter()
+        engine.register(a)
+        engine.register(b)
+        engine.step(7)
+        assert a.ticks == 7
+        assert b.ticks == 7
+
+    def test_components_tick_in_registration_order(self):
+        engine = Engine()
+        order = []
+
+        class Recorder:
+            def __init__(self, name):
+                self.name = name
+
+            def tick(self, cycle):
+                order.append(self.name)
+
+        engine.register(Recorder("first"))
+        engine.register(Recorder("second"))
+        engine.step()
+        assert order == ["first", "second"]
+
+    def test_run_until_returns_cycles_consumed(self):
+        engine = Engine()
+        target = {}
+
+        class Setter:
+            def tick(self, cycle):
+                if cycle == 12:
+                    target["done"] = True
+
+        engine.register(Setter())
+        engine.register(TickCounter(engine, progress=True))
+        consumed = engine.run_until(lambda: target.get("done", False))
+        assert consumed == 12
+
+    def test_run_until_max_cycles(self):
+        engine = Engine()
+        engine.register(TickCounter(engine, progress=True))
+        with pytest.raises(SimulationDeadlock):
+            engine.run_until(lambda: False, max_cycles=50)
+
+    def test_watchdog_fires_without_progress(self):
+        engine = Engine(watchdog_interval=10)
+        engine.register(TickCounter())
+        with pytest.raises(SimulationDeadlock):
+            engine.step(100)
+
+    def test_watchdog_quiet_with_progress(self):
+        engine = Engine(watchdog_interval=10)
+        engine.register(TickCounter(engine, progress=True))
+        engine.step(100)  # no exception
+
+    def test_watchdog_disabled(self):
+        engine = Engine(watchdog_interval=0)
+        engine.register(TickCounter())
+        engine.step(1000)  # no exception
+        assert engine.cycle == 1000

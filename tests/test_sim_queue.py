@@ -1,0 +1,66 @@
+"""Unit tests for the bounded hardware queue."""
+
+import pytest
+
+from repro.sim.queue import BoundedQueue, QueueFullError
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(capacity=3)
+        for item in (1, 2, 3):
+            q.push(item)
+        assert [q.pop(), q.pop(), q.pop()] == [1, 2, 3]
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue(capacity=2)
+        q.push("a")
+        q.push("b")
+        assert q.full
+        with pytest.raises(QueueFullError):
+            q.push("c")
+
+    def test_can_push_counts(self):
+        q = BoundedQueue(capacity=3)
+        q.push(1)
+        assert q.can_push(2)
+        assert not q.can_push(3)
+
+    def test_unbounded(self):
+        q = BoundedQueue()
+        for i in range(10_000):
+            q.push(i)
+        assert not q.full
+        assert len(q) == 10_000
+
+    def test_peek_does_not_remove(self):
+        q = BoundedQueue(capacity=2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_remove_specific_item(self):
+        q = BoundedQueue(capacity=3)
+        q.push(1)
+        q.push(2)
+        q.push(3)
+        q.remove(2)
+        assert list(q) == [1, 3]
+
+    def test_empty_and_bool(self):
+        q = BoundedQueue(capacity=1)
+        assert q.empty
+        assert not q
+        q.push(0)
+        assert not q.empty
+        assert q
+
+    def test_clear(self):
+        q = BoundedQueue(capacity=2)
+        q.push(1)
+        q.clear()
+        assert q.empty
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=0)

@@ -1,0 +1,118 @@
+"""The Skip It soundness theorem (§6.2), checked dynamically.
+
+A skipped writeback is only sound when the line is *persisted*: its bytes
+in main memory equal every cached copy.  We instrument the flush unit and
+assert this at the exact moment of every skip, across randomized
+two-core programs — the dynamic analogue of the paper's case analysis.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flush_unit import FlushUnit, OfferResult
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+
+LINES = [0x2000 + i * 64 for i in range(4)]
+
+
+def instr_strategy():
+    address = st.sampled_from(LINES)
+    value = st.integers(min_value=1, max_value=2**32)
+    return st.one_of(
+        st.builds(Instr.store, address, value),
+        st.builds(Instr.load, address),
+        st.builds(Instr.clean, address),
+        st.builds(Instr.flush, address),
+        st.just(Instr.fence()),
+    )
+
+
+def instrument(soc, skips):
+    """Wrap every flush unit's offer() to verify skips are sound."""
+    for l1 in soc.l1s:
+        fu = l1.flush_unit
+        original = fu.offer
+
+        def checked(address, is_clean, hit, fu=fu, l1=l1, original=original):
+            result = original(address, is_clean, hit)
+            if result is OfferResult.SKIPPED:
+                skips.append(address)
+                memory_line = soc.memory.peek_line(address)
+                # no dirty copy anywhere, and every cached copy equals memory
+                for other in soc.l1s:
+                    state = other.line_state(address)
+                    if state is not None:
+                        _, dirty, _ = state
+                        assert not dirty, (
+                            f"skip of {address:#x} while dirty in "
+                            f"L1 {other.agent_id}"
+                        )
+                        way, entry = other.meta.lookup(address)
+                        cached = other.data.read_line(
+                            other.geometry.set_index(address), way
+                        )
+                        assert cached == memory_line, (
+                            f"skip of {address:#x} while L1 "
+                            f"{other.agent_id} differs from memory"
+                        )
+                l2_line = soc.l2.lines.get(address)
+                if l2_line is not None:
+                    assert not l2_line.dirty, (
+                        f"skip of {address:#x} while dirty in L2"
+                    )
+                    assert l2_line.data == memory_line
+            return result
+
+        fu.offer = checked
+
+
+class TestSkipSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p0=st.lists(instr_strategy(), min_size=2, max_size=18),
+        p1=st.lists(instr_strategy(), min_size=2, max_size=18),
+    )
+    def test_every_skip_is_sound(self, p0, p1):
+        soc = Soc()
+        skips = []
+        instrument(soc, skips)
+        soc.run_programs([p0, p1])
+        soc.drain()
+        # the assertion work happens inside the instrumented offer()
+
+    def test_skips_actually_happen(self):
+        """Sanity: the instrumentation sees real skips on a known pattern."""
+        soc = Soc()
+        skips = []
+        instrument(soc, skips)
+        line = LINES[0]
+        soc.run_programs(
+            [[
+                Instr.store(line, 1),
+                Instr.clean(line),
+                Instr.fence(),
+                Instr.clean(line),
+                Instr.clean(line),
+                Instr.fence(),
+            ]]
+        )
+        soc.drain()
+        assert len(skips) == 2
+
+    def test_naive_config_never_skips(self):
+        soc = Soc(Soc().params.with_skip_it(False))
+        skips = []
+        instrument(soc, skips)
+        line = LINES[0]
+        soc.run_programs(
+            [[
+                Instr.store(line, 1),
+                Instr.clean(line),
+                Instr.fence(),
+                Instr.clean(line),
+                Instr.fence(),
+            ]]
+        )
+        soc.drain()
+        assert skips == []

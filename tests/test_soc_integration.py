@@ -1,0 +1,173 @@
+"""End-to-end integration tests on the cycle-level SoC."""
+
+from repro.core.semantics import WritebackOracle
+from repro.sim.config import SoCParams
+from repro.uarch.cpu import Instr
+from repro.uarch.requests import MemOp
+from repro.uarch.soc import Soc
+
+
+def run_with_oracle(program):
+    """Run *program* on core 0 and cross-check §4 semantics at the end."""
+    soc = Soc()
+    oracle = WritebackOracle()
+    for instr in program:
+        if instr.op is MemOp.STORE:
+            oracle.write(instr.address, instr.data)
+        elif instr.op.is_cbo:
+            oracle.writeback(instr.address)
+        elif instr.op is MemOp.FENCE:
+            oracle.fence()
+    soc.run_programs([program])
+    violations = oracle.check_memory(soc.persisted_value)
+    return soc, violations
+
+
+class TestSingleCoreSemantics:
+    def test_store_flush_fence(self):
+        _, violations = run_with_oracle(
+            [Instr.store(0x40, 1), Instr.flush(0x40), Instr.fence()]
+        )
+        assert violations == []
+
+    def test_clean_preserves_read_path(self):
+        soc, violations = run_with_oracle(
+            [
+                Instr.store(0x40, 5),
+                Instr.clean(0x40),
+                Instr.fence(),
+                Instr.load(0x40),
+            ]
+        )
+        assert violations == []
+        assert soc.cores[0].load_result(3) == 5
+        assert soc.l1s[0].stats.get("load_hits") >= 1  # clean kept the line
+
+    def test_flush_forces_refetch(self):
+        soc, _ = run_with_oracle(
+            [
+                Instr.store(0x40, 5),
+                Instr.flush(0x40),
+                Instr.fence(),
+                Instr.load(0x40),
+            ]
+        )
+        assert soc.cores[0].load_result(3) == 5
+        assert soc.l1s[0].stats.get("load_misses") >= 1
+
+    def test_interleaved_lines_and_fences(self):
+        program = []
+        for i in range(8):
+            address = 0x1000 + i * 64
+            program += [Instr.store(address, i + 1), Instr.clean(address)]
+        program.append(Instr.fence())
+        _, violations = run_with_oracle(program)
+        assert violations == []
+
+    def test_store_after_writeback_not_required_but_coherent(self):
+        soc, violations = run_with_oracle(
+            [
+                Instr.store(0x40, 1),
+                Instr.clean(0x40),
+                Instr.fence(),
+                Instr.store(0x40, 2),  # dirty again, never written back
+                Instr.load(0x40),
+            ]
+        )
+        assert violations == []
+        assert soc.cores[0].load_result(4) == 2
+        assert soc.persisted_value(0x40) == 1  # only the fenced value
+
+
+class TestMultiCore:
+    def test_producer_consumer_via_flush(self):
+        """The DMA-style pattern of §2.5: flush + fence, then remote read."""
+        soc = Soc()
+        soc.run_programs(
+            [[Instr.store(0x2000, 123), Instr.flush(0x2000), Instr.fence()]]
+        )
+        soc.drain()
+        assert soc.persisted_value(0x2000) == 123
+        soc.run_programs([[], [Instr.load(0x2000)]])
+        assert soc.cores[1].load_result(0) == 123
+
+    def test_concurrent_disjoint_flushes(self):
+        soc = Soc()
+        programs = []
+        for core in range(2):
+            base = 0x10000 + core * 0x10000
+            program = []
+            for i in range(8):
+                program.append(Instr.store(base + i * 64, core * 100 + i))
+                program.append(Instr.flush(base + i * 64))
+            program.append(Instr.fence())
+            programs.append(program)
+        soc.run_programs(programs)
+        soc.drain()
+        for core in range(2):
+            base = 0x10000 + core * 0x10000
+            for i in range(8):
+                assert soc.persisted_value(base + i * 64) == core * 100 + i
+
+    def test_contended_line_flushes_both_cores(self):
+        """Both cores hammer the same line with stores and flushes; the
+        final architectural value must be coherent and the run must not
+        deadlock (§5.4 machinery under fire)."""
+        soc = Soc()
+        line = 0x3000
+        p0 = []
+        p1 = []
+        for i in range(6):
+            p0 += [Instr.store(line, 1000 + i), Instr.flush(line), Instr.fence()]
+            p1 += [Instr.store(line, 2000 + i), Instr.flush(line), Instr.fence()]
+        soc.run_programs([p0, p1])
+        soc.drain()
+        final = soc.coherent_value(line)
+        assert final in (1005, 2005)
+        assert soc.persisted_value(line) in (1005, 2005)
+
+    def test_eight_core_soc(self):
+        soc = Soc(SoCParams().with_cores(8))
+        programs = []
+        for core in range(8):
+            address = 0x5000 + core * 0x1000
+            programs.append(
+                [Instr.store(address, core), Instr.clean(address), Instr.fence()]
+            )
+        soc.run_programs(programs)
+        soc.drain()
+        for core in range(8):
+            assert soc.persisted_value(0x5000 + core * 0x1000) == core
+
+
+class TestInvariantsAfterDrain:
+    def test_quiescence(self):
+        soc = Soc()
+        soc.run_programs(
+            [[Instr.store(0x40, 1), Instr.flush(0x40)], [Instr.load(0x40)]]
+        )
+        soc.drain()
+        assert soc.quiescent_check()
+
+    def test_inclusion_invariant(self):
+        """Every valid L1 line is present in the inclusive L2."""
+        soc = Soc()
+        program = [Instr.store(0x6000 + i * 64, i) for i in range(16)]
+        soc.run_programs([program, [Instr.load(0x6000)]])
+        soc.drain()
+        for l1 in soc.l1s:
+            for set_idx, way, entry in l1.meta.iter_valid():
+                address = l1.meta.address_of(set_idx, entry)
+                assert address in soc.l2.lines, hex(address)
+
+    def test_directory_matches_l1_state(self):
+        soc = Soc()
+        soc.run_programs([[Instr.store(0x40, 1)], [Instr.load(0x1000)]])
+        soc.drain()
+        for address, line in soc.l2.lines.items():
+            for client in range(len(soc.l1s)):
+                l1_state = soc.l1s[client].line_state(address)
+                if line.directory.holds(client):
+                    assert l1_state is not None
+                else:
+                    assert l1_state is None

@@ -1,0 +1,169 @@
+"""Functional tests of the four persistent set structures.
+
+Each structure is checked against a Python ``set`` reference model under
+every (policy, optimizer) pairing the paper benchmarks, plus targeted
+shape tests per structure.
+"""
+
+import random
+
+import pytest
+
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer, OPTIMIZER_NAMES
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.persist.structures import STRUCTURES
+from repro.persist.structures.base import persisted_reader
+from repro.persist.structures.skiplist import MAX_LEVEL, deterministic_height
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+
+def build(structure_name, optimizer_name="plain", policy_name="manual"):
+    system = TimingSystem(
+        TimingParams(num_threads=1, skip_it=optimizer_name == "skipit")
+    )
+    heap = SimHeap()
+    optimizer = make_optimizer(optimizer_name, heap)
+    policy = make_policy(policy_name)
+    cls = STRUCTURES[structure_name]
+    structure = cls(heap, field_stride=optimizer.field_stride)
+    view = PMemView(system.threads[0], policy, optimizer)
+    structure.initialize(view)
+    return structure, view, system
+
+
+@pytest.mark.parametrize("structure_name", sorted(STRUCTURES))
+class TestBasicSetSemantics:
+    def test_insert_then_contains(self, structure_name):
+        s, view, _ = build(structure_name)
+        assert s.insert(view, 10)
+        assert s.contains(view, 10)
+        assert not s.contains(view, 11)
+
+    def test_duplicate_insert_rejected(self, structure_name):
+        s, view, _ = build(structure_name)
+        assert s.insert(view, 5)
+        assert not s.insert(view, 5)
+
+    def test_delete(self, structure_name):
+        s, view, _ = build(structure_name)
+        s.insert(view, 7)
+        assert s.delete(view, 7)
+        assert not s.contains(view, 7)
+        assert not s.delete(view, 7)
+
+    def test_delete_missing(self, structure_name):
+        s, view, _ = build(structure_name)
+        assert not s.delete(view, 99)
+
+    def test_nonpositive_keys_rejected(self, structure_name):
+        s, view, _ = build(structure_name)
+        with pytest.raises(ValueError):
+            s.insert(view, 0)
+
+    def test_many_keys(self, structure_name):
+        s, view, _ = build(structure_name)
+        keys = random.Random(3).sample(range(1, 500), 120)
+        for k in keys:
+            assert s.insert(view, k)
+        for k in keys:
+            assert s.contains(view, k)
+
+    def test_reference_model_fuzz(self, structure_name):
+        s, view, _ = build(structure_name)
+        reference = set()
+        rng = random.Random(99)
+        for _ in range(400):
+            key = rng.randint(1, 60)
+            op = rng.random()
+            if op < 0.45:
+                assert s.insert(view, key) == (key not in reference)
+                reference.add(key)
+            elif op < 0.8:
+                assert s.delete(view, key) == (key in reference)
+                reference.discard(key)
+            else:
+                assert s.contains(view, key) == (key in reference)
+        for key in range(1, 61):
+            assert s.contains(view, key) == (key in reference)
+
+
+@pytest.mark.parametrize("optimizer_name", OPTIMIZER_NAMES)
+@pytest.mark.parametrize("policy_name", ["automatic", "nvtraverse", "manual"])
+class TestAllConfigurations:
+    """The full §7.4 matrix stays functionally correct."""
+
+    def test_list_under_configuration(self, optimizer_name, policy_name):
+        s, view, _ = build("list", optimizer_name, policy_name)
+        reference = set()
+        rng = random.Random(11)
+        for _ in range(120):
+            key = rng.randint(1, 30)
+            if rng.random() < 0.5:
+                assert s.insert(view, key) == (key not in reference)
+                reference.add(key)
+            else:
+                assert s.delete(view, key) == (key in reference)
+                reference.discard(key)
+        for key in range(1, 31):
+            assert s.contains(view, key) == (key in reference)
+
+
+class TestSkipListShape:
+    def test_height_bounds(self):
+        for key in range(1, 2000):
+            assert 1 <= deterministic_height(key) <= MAX_LEVEL
+
+    def test_height_distribution_geometric_ish(self):
+        heights = [deterministic_height(k) for k in range(1, 4096)]
+        ones = heights.count(1)
+        twos = heights.count(2)
+        assert ones > twos  # taller towers are rarer
+
+    def test_upper_levels_subset_of_bottom(self):
+        s, view, _ = build("skiplist")
+        for k in random.Random(5).sample(range(1, 300), 60):
+            s.insert(view, k)
+        read = lambda addr: view.ctx.system.arch.get(addr, 0)
+        bottom = set()
+        node = read(s._field(s._head.base, 2))
+        while node:
+            bottom.add(read(s._field(node, 0)))
+            node = read(s._field(node, 2))
+        for level in range(1, MAX_LEVEL):
+            node = read(s._field(s._head.base, 2 + level))
+            while node:
+                assert read(s._field(node, 0)) in bottom
+                node = read(s._field(node, 2 + level))
+
+
+class TestBstShape:
+    def test_pointer_tagging_declared(self):
+        assert STRUCTURES["bst"].uses_pointer_tagging
+
+    def test_external_property(self):
+        """All real keys live in leaves; internal nodes only route."""
+        s, view, _ = build("bst")
+        keys = random.Random(4).sample(range(1, 200), 40)
+        for k in keys:
+            s.insert(view, k)
+        recovered = s.recover_keys(
+            persisted_reader(view.ctx.system.arch)
+        )
+        assert recovered == set(keys)
+
+
+class TestRecoverKeysOnArch:
+    @pytest.mark.parametrize("structure_name", sorted(STRUCTURES))
+    def test_recover_matches_live_set(self, structure_name):
+        s, view, _ = build(structure_name)
+        keys = random.Random(8).sample(range(1, 400), 50)
+        for k in keys:
+            s.insert(view, k)
+        for k in keys[:20]:
+            s.delete(view, k)
+        live = set(keys[20:])
+        recovered = s.recover_keys(persisted_reader(view.ctx.system.arch))
+        assert recovered == live

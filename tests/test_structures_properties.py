@@ -1,0 +1,89 @@
+"""Hypothesis property tests: structures vs a model set + crash safety."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.persist.recovery import CrashChecker
+from repro.persist.structures import STRUCTURES
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "contains"]),
+        st.integers(min_value=1, max_value=25),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build(structure_name, optimizer_name, policy_name):
+    system = TimingSystem(
+        TimingParams(num_threads=1, skip_it=optimizer_name == "skipit")
+    )
+    heap = SimHeap()
+    optimizer = make_optimizer(optimizer_name, heap)
+    policy = make_policy(policy_name)
+    structure = STRUCTURES[structure_name](
+        heap, field_stride=optimizer.field_stride
+    )
+    view = PMemView(system.threads[0], policy, optimizer)
+    structure.initialize(view)
+    return system, structure, view
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=OPS, structure_name=st.sampled_from(sorted(STRUCTURES)))
+def test_matches_model_set(ops, structure_name):
+    _, structure, view = build(structure_name, "plain", "manual")
+    model = set()
+    for op, key in ops:
+        if op == "insert":
+            assert structure.insert(view, key) == (key not in model)
+            model.add(key)
+        elif op == "delete":
+            assert structure.delete(view, key) == (key in model)
+            model.discard(key)
+        else:
+            assert structure.contains(view, key) == (key in model)
+    for key in range(1, 26):
+        assert structure.contains(view, key) == (key in model)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=OPS,
+    structure_name=st.sampled_from(sorted(STRUCTURES)),
+    optimizer_name=st.sampled_from(["plain", "flit-adjacent", "skipit"]),
+    policy_name=st.sampled_from(["automatic", "nvtraverse", "manual"]),
+)
+def test_crash_recovers_reference(ops, structure_name, optimizer_name, policy_name):
+    system, structure, view = build(structure_name, optimizer_name, policy_name)
+    checker = CrashChecker(system, structure, view)
+    checker.apply(ops)
+    report = checker.crash_and_check()
+    assert report.consistent, (
+        f"lost={sorted(report.lost)} ghosts={sorted(report.ghosts)}"
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=OPS)
+def test_link_and_persist_marks_never_leak(ops):
+    """Reads through the L&P filter never expose the mark bit."""
+    _, structure, view = build("list", "link-and-persist", "automatic")
+    for op, key in ops:
+        if op == "insert":
+            structure.insert(view, key)
+        elif op == "delete":
+            structure.delete(view, key)
+        else:
+            structure.contains(view, key)
+    for key in range(1, 26):
+        # contains() goes through masked reads; keys must stay in range
+        assert structure.contains(view, key) in (True, False)

@@ -1,0 +1,178 @@
+"""Unit tests for TileLink permissions, messages and channels."""
+
+import pytest
+
+from repro.tilelink.channel import BeatChannel
+from repro.tilelink.messages import (
+    Acquire,
+    GrantData,
+    Probe,
+    ProbeAck,
+    ProbeAckParam,
+    Release,
+    ReleaseAck,
+    ReleaseAckParam,
+    root_release,
+    root_release_ack,
+)
+from repro.tilelink.permissions import (
+    Cap,
+    Grow,
+    Perm,
+    Shrink,
+    grow_target,
+    probe_shrink,
+    shrink_result,
+)
+
+
+class TestPermissions:
+    def test_perm_ordering(self):
+        assert Perm.NONE < Perm.BRANCH < Perm.TRUNK
+
+    def test_readable_writable(self):
+        assert not Perm.NONE.readable
+        assert Perm.BRANCH.readable and not Perm.BRANCH.writable
+        assert Perm.TRUNK.readable and Perm.TRUNK.writable
+
+    @pytest.mark.parametrize(
+        "grow,target",
+        [(Grow.NtoB, Perm.BRANCH), (Grow.NtoT, Perm.TRUNK), (Grow.BtoT, Perm.TRUNK)],
+    )
+    def test_grow_targets(self, grow, target):
+        assert grow_target(grow) is target
+
+    @pytest.mark.parametrize(
+        "shrink,result",
+        [
+            (Shrink.TtoB, Perm.BRANCH),
+            (Shrink.TtoN, Perm.NONE),
+            (Shrink.BtoN, Perm.NONE),
+            (Shrink.TtoT, Perm.TRUNK),
+            (Shrink.BtoB, Perm.BRANCH),
+            (Shrink.NtoN, Perm.NONE),
+        ],
+    )
+    def test_shrink_results(self, shrink, result):
+        assert shrink_result(shrink) is result
+
+    @pytest.mark.parametrize(
+        "current,cap,expected",
+        [
+            (Perm.TRUNK, Cap.toN, Shrink.TtoN),
+            (Perm.TRUNK, Cap.toB, Shrink.TtoB),
+            (Perm.TRUNK, Cap.toT, Shrink.TtoT),
+            (Perm.BRANCH, Cap.toN, Shrink.BtoN),
+            (Perm.BRANCH, Cap.toB, Shrink.BtoB),
+            (Perm.BRANCH, Cap.toT, Shrink.BtoB),
+            (Perm.NONE, Cap.toN, Shrink.NtoN),
+            (Perm.NONE, Cap.toT, Shrink.NtoN),
+        ],
+    )
+    def test_probe_shrink(self, current, cap, expected):
+        assert probe_shrink(current, cap) is expected
+
+    def test_cap_perm(self):
+        assert Cap.toT.perm is Perm.TRUNK
+        assert Cap.toB.perm is Perm.BRANCH
+        assert Cap.toN.perm is Perm.NONE
+
+
+class TestMessages:
+    def test_root_release_encoding(self):
+        msg = root_release(
+            1, 0x1000, param=ProbeAckParam.CLEAN, shrink=Shrink.TtoT, data=None
+        )
+        assert isinstance(msg, ProbeAck)
+        assert msg.param is ProbeAckParam.CLEAN
+        assert msg.is_root_release
+
+    def test_root_release_flush_encoding(self):
+        msg = root_release(
+            0, 0x40, param=ProbeAckParam.FLUSH, shrink=Shrink.TtoN, data=b"\0" * 64
+        )
+        assert msg.param is ProbeAckParam.FLUSH
+        assert msg.has_data
+
+    def test_root_release_normal_param_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            root_release(
+                0, 0x40, param=ProbeAckParam.NORMAL, shrink=Shrink.NtoN
+            )
+
+    def test_plain_probe_ack_is_not_root(self):
+        assert not ProbeAck(source=0, address=0).is_root_release
+
+    def test_root_release_ack_encoding(self):
+        ack = root_release_ack(100, 0x80)
+        assert isinstance(ack, ReleaseAck)
+        assert ack.param is ReleaseAckParam.ROOT
+
+    def test_normal_release_ack_param(self):
+        assert ReleaseAck(source=0, address=0).param is ReleaseAckParam.NORMAL
+
+    def test_grant_data_dirty_flag(self):
+        grant = GrantData(source=0, address=0, data=b"\0" * 64, dirty=True)
+        assert grant.dirty  # GrantDataDirty (§6)
+
+    def test_txn_ids_unique(self):
+        a = Acquire(source=0, address=0)
+        b = Acquire(source=0, address=0)
+        assert a.txn != b.txn
+
+    def test_has_data(self):
+        assert not Acquire(source=0, address=0).has_data
+        assert Release(source=0, address=0, data=b"x" * 64).has_data
+        assert not Probe(source=0, address=0).has_data
+
+
+class TestBeatChannel:
+    def test_dataless_message_single_beat(self):
+        chan = BeatChannel("t", bus_bytes=16)
+        msg = Probe(source=0, address=0)
+        deliver_at = chan.send(msg, now=0)
+        assert deliver_at == 1
+        assert chan.pop_ready(0) is None
+        assert chan.pop_ready(1) is msg
+
+    def test_line_payload_takes_four_beats(self):
+        chan = BeatChannel("t", bus_bytes=16)
+        msg = Release(source=0, address=0, data=b"\0" * 64)
+        assert chan.beats_for(msg) == 4
+        deliver_at = chan.send(msg, now=0)
+        assert deliver_at == 4
+
+    def test_serialization_of_back_to_back_payloads(self):
+        chan = BeatChannel("t", bus_bytes=16)
+        m1 = Release(source=0, address=0, data=b"\0" * 64)
+        m2 = Release(source=0, address=64, data=b"\0" * 64)
+        chan.send(m1, now=0)
+        deliver_at = chan.send(m2, now=0)
+        assert deliver_at == 8  # waits behind the first 4-beat transfer
+
+    def test_in_order_delivery(self):
+        chan = BeatChannel("t", bus_bytes=16)
+        m1 = Probe(source=0, address=0)
+        m2 = Probe(source=0, address=64)
+        chan.send(m1, now=0)
+        chan.send(m2, now=0)
+        assert chan.drain_ready(10) == [m1, m2]
+
+    def test_idle_property(self):
+        chan = BeatChannel("t")
+        assert chan.idle
+        chan.send(Probe(source=0, address=0), now=0)
+        assert not chan.idle
+        chan.drain_ready(10)
+        assert chan.idle
+
+    def test_invalid_bus_width(self):
+        with pytest.raises(ValueError):
+            BeatChannel("t", bus_bytes=0)
+
+    def test_wider_bus_fewer_beats(self):
+        wide = BeatChannel("t", bus_bytes=64)
+        msg = Release(source=0, address=0, data=b"\0" * 64)
+        assert wide.beats_for(msg) == 1

@@ -1,0 +1,133 @@
+"""Tests for the optional victim L3 (the §7.4 deeper-hierarchy extension)."""
+
+from repro.sim.config import CacheGeometry
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+
+def mk(l3=True, l1_bytes=256, l2_bytes=512, l3_bytes=4096):
+    return TimingSystem(
+        TimingParams(
+            num_threads=1,
+            l1=CacheGeometry(size_bytes=l1_bytes, ways=2),
+            l2=CacheGeometry(size_bytes=l2_bytes, ways=2),
+            l3=CacheGeometry(size_bytes=l3_bytes, ways=4) if l3 else None,
+        )
+    )
+
+
+class TestVictimL3:
+    def test_l2_evictions_land_in_l3(self):
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        for i in range(4):
+            t.store(0x10000 + i * stride, i + 1)
+        assert system.stats.get("l2_evict_to_l3") >= 1
+        assert len(system.l3) >= 1
+
+    def test_l3_hit_cheaper_than_memory(self):
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        addresses = [0x10000 + i * stride for i in range(4)]
+        for i, a in enumerate(addresses):
+            t.store(a, i + 1)
+        # re-read the oldest line: it was evicted L1->L2->L3
+        victim = addresses[0]
+        assert system.l2.get(victim) is None and victim in system.l3
+        before = t.now
+        assert t.load(victim) == 1
+        assert t.now - before == system.params.l3_hit
+        assert system.stats.get("l3_hits") == 1
+
+    def test_exclusive_l3(self):
+        """A line fetched back from L3 leaves the L3 (victim exclusivity)."""
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        addresses = [0x10000 + i * stride for i in range(4)]
+        for i, a in enumerate(addresses):
+            t.store(a, i + 1)
+        victim = addresses[0]
+        t.load(victim)
+        assert victim not in system.l3
+        assert system.l2.get(victim) is not None
+
+    def test_dirty_data_survives_three_level_journey(self):
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        addresses = [0x10000 + i * stride for i in range(8)]
+        for i, a in enumerate(addresses):
+            t.store(a, i + 1)
+        for i, a in enumerate(addresses):
+            assert t.load(a) == i + 1
+
+    def test_l3_eviction_persists_dirty(self):
+        system = mk(l3_bytes=512)  # tiny L3: it spills too
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        for i in range(16):
+            t.store(0x10000 + i * stride, i + 1)
+        assert system.stats.get("l3_evict_writebacks") >= 1
+        # spilled values are persisted
+        assert any(v for v in system.persisted.values())
+
+    def test_flush_reaches_line_dirty_only_in_l3(self):
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        addresses = [0x10000 + i * stride for i in range(4)]
+        for i, a in enumerate(addresses):
+            t.store(a, i + 1)
+        victim = addresses[0]
+        assert victim in system.l3
+        t.flush(victim)
+        t.fence()
+        assert system.persisted[victim] == 1
+        assert victim not in system.l3  # flush invalidated the L3 copy too
+
+    def test_writeback_latency_grows_with_depth(self):
+        """§7.4: 'A deeper cache hierarchy could show greater improvements
+        due to the increased latencies' — the flush path lengthens."""
+        shallow = mk(l3=False)
+        deep = mk(l3=True)
+        for system in (shallow, deep):
+            t = system.threads[0]
+            t.store(0x40, 1)
+            t.clean(0x40)
+            t.fence()
+        assert deep.threads[0].now > shallow.threads[0].now
+
+    def test_skip_savings_grow_with_depth(self):
+        """The redundant-writeback cost Skip It avoids is larger with L3."""
+
+        def redundant_cost(l3):
+            system = TimingSystem(
+                TimingParams(
+                    num_threads=1,
+                    skip_it=False,
+                    l3=CacheGeometry(size_bytes=64 * 1024, ways=8) if l3 else None,
+                )
+            )
+            t = system.threads[0]
+            t.store(0x40, 1)
+            t.clean(0x40)
+            t.fence()
+            start = t.now
+            for _ in range(10):
+                t.clean(0x40)  # all redundant, none filtered
+            t.fence()
+            return t.now - start
+
+        assert redundant_cost(l3=True) > redundant_cost(l3=False)
+
+    def test_crash_drops_l3(self):
+        system = mk()
+        t = system.threads[0]
+        stride = system.params.l2.num_sets * 64
+        for i in range(4):
+            t.store(0x10000 + i * stride, i + 1)
+        system.crash()
+        assert len(system.l3) == 0

@@ -1,0 +1,116 @@
+"""Hypothesis properties of the timing model (with and without the L3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import CacheGeometry
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+
+LINES = [0x4000 + i * 64 for i in range(4)]
+
+OP = st.one_of(
+    st.tuples(st.just("store"), st.sampled_from(LINES), st.integers(1, 2**31)),
+    st.tuples(st.just("load"), st.sampled_from(LINES), st.just(0)),
+    st.tuples(st.just("clean"), st.sampled_from(LINES), st.just(0)),
+    st.tuples(st.just("flush"), st.sampled_from(LINES), st.just(0)),
+    st.tuples(st.just("fence"), st.just(0), st.just(0)),
+)
+
+
+def apply(thread, ops):
+    latest = {}
+    for op, address, value in ops:
+        if op == "store":
+            thread.store(address, value)
+            latest[address] = value
+        elif op == "load":
+            assert thread.load(address) == latest.get(address, 0)
+        elif op == "clean":
+            thread.clean(address)
+        elif op == "flush":
+            thread.flush(address)
+        else:
+            thread.fence()
+    return latest
+
+
+def params(l3: bool, threads: int = 1) -> TimingParams:
+    return TimingParams(
+        num_threads=threads,
+        l3=CacheGeometry(size_bytes=64 * 1024, ways=8) if l3 else None,
+    )
+
+
+class TestSingleThreadProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(OP, min_size=1, max_size=40), l3=st.booleans())
+    def test_loads_always_architecturally_correct(self, ops, l3):
+        system = TimingSystem(params(l3))
+        apply(system.threads[0], ops)  # asserts on every load
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(OP, min_size=1, max_size=40), l3=st.booleans())
+    def test_clock_strictly_monotone(self, ops, l3):
+        system = TimingSystem(params(l3))
+        thread = system.threads[0]
+        last = 0
+        actions = {
+            "store": lambda a, v: thread.store(a, v),
+            "load": lambda a, v: thread.load(a),
+            "clean": lambda a, v: thread.clean(a),
+            "flush": lambda a, v: thread.flush(a),
+            "fence": lambda a, v: thread.fence(),
+        }
+        for op, address, value in ops:
+            actions[op](address, value)
+            assert thread.now >= last
+            last = thread.now
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(OP, min_size=1, max_size=40), l3=st.booleans())
+    def test_persisted_never_exceeds_arch(self, ops, l3):
+        """The persistence domain only ever holds values that were
+        architecturally written at some point (no invented data)."""
+        system = TimingSystem(params(l3))
+        written = {}
+        thread = system.threads[0]
+        for op, address, value in ops:
+            if op == "store":
+                thread.store(address, value)
+                written.setdefault(address, set()).add(value)
+            elif op == "load":
+                thread.load(address)
+            elif op == "clean":
+                thread.clean(address)
+            elif op == "flush":
+                thread.flush(address)
+            else:
+                thread.fence()
+        for address, value in system.persisted.items():
+            assert value in written.get(address, {0}) or value == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(OP, min_size=1, max_size=40))
+    def test_l3_never_changes_final_persisted_state(self, ops):
+        """The L3 is a performance feature: identical programs persist an
+        identical image with and without it."""
+        ops = ops + [("clean", line, 0) for line in LINES] + [("fence", 0, 0)]
+        shallow = TimingSystem(params(l3=False))
+        deep = TimingSystem(params(l3=True))
+        apply(shallow.threads[0], ops)
+        apply(deep.threads[0], ops)
+        assert shallow.persisted == deep.persisted
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(OP, min_size=1, max_size=30))
+    def test_skip_it_never_changes_persisted_requirements(self, ops):
+        """Skip It is transparent: with a trailing clean+fence of every
+        line, both configs persist the same final image."""
+        ops = ops + [("clean", line, 0) for line in LINES] + [("fence", 0, 0)]
+        base = TimingSystem(TimingParams(num_threads=1, skip_it=False))
+        skip = TimingSystem(TimingParams(num_threads=1, skip_it=True))
+        apply(base.threads[0], ops)
+        apply(skip.threads[0], ops)
+        assert base.persisted == skip.persisted
+        assert skip.threads[0].now <= base.threads[0].now  # never slower

@@ -1,0 +1,86 @@
+"""Unit tests for the virtual-time scheduler."""
+
+import pytest
+
+from repro.timing.params import TimingParams
+from repro.timing.scheduler import VirtualTimeScheduler
+from repro.timing.system import TimingSystem
+
+
+def mk(threads=2):
+    return TimingSystem(TimingParams(num_threads=threads))
+
+
+class TestScheduler:
+    def test_runs_until_deadline(self):
+        system = mk()
+        sched = VirtualTimeScheduler(system)
+
+        def step(ctx):
+            ctx.load(0x40 + (ctx.ops % 8) * 64)
+
+        result = sched.run([step, step], duration=10_000)
+        assert result.total_ops > 0
+        assert all(ctx.now >= 10_000 for ctx in system.threads)
+
+    def test_fairness_between_equal_threads(self):
+        system = mk()
+        sched = VirtualTimeScheduler(system)
+
+        def step(ctx):
+            ctx.load(0x1000 * (ctx.tid + 1))
+
+        result = sched.run([step, step], duration=50_000)
+        a, b = result.ops_per_thread
+        assert abs(a - b) <= max(a, b) * 0.05  # near-equal progress
+
+    def test_slow_thread_does_fewer_ops(self):
+        system = mk()
+        sched = VirtualTimeScheduler(system)
+
+        def fast(ctx):
+            ctx.load(0x40)
+
+        def slow(ctx):
+            ctx.load(0x40)
+            ctx.fence()
+            ctx.now += 100
+
+        result = sched.run([fast, slow], duration=20_000)
+        assert result.ops_per_thread[0] > result.ops_per_thread[1]
+
+    def test_warmup_not_counted(self):
+        system = mk(threads=1)
+        sched = VirtualTimeScheduler(system)
+        calls = []
+
+        def step(ctx):
+            calls.append(1)
+            ctx.now += 1000
+
+        result = sched.run([step], duration=5_000, warmup=3)
+        assert len(calls) == result.ops_per_thread[0] + 3
+
+    def test_throughput_computation(self):
+        system = mk(threads=1)
+        sched = VirtualTimeScheduler(system)
+
+        def step(ctx):
+            ctx.now += 100
+
+        result = sched.run([step], duration=10_000)
+        assert result.throughput(clock_hz=50e6) == pytest.approx(
+            result.total_ops * 50e6 / result.elapsed
+        )
+
+    def test_too_many_steps_rejected(self):
+        system = mk(threads=1)
+        sched = VirtualTimeScheduler(system)
+        with pytest.raises(ValueError):
+            sched.run([lambda c: None] * 2, duration=100)
+
+    def test_zero_duration(self):
+        system = mk(threads=1)
+        sched = VirtualTimeScheduler(system)
+        result = sched.run([lambda ctx: None], duration=0)
+        assert result.total_ops == 0

@@ -1,0 +1,114 @@
+"""Tests for the microbenchmark workload generators.
+
+These run small instances and assert the *shape* claims of §7.2-§7.4 that
+the figures report, which is the real contract of the harness.
+"""
+
+import pytest
+
+from repro.workloads.datastructs import DataStructureBenchmark
+from repro.workloads.redundant import redundant_writeback_latency
+from repro.workloads.reread import clean_vs_flush_reread
+from repro.workloads.sweep import writeback_sweep
+
+KIB = 1024
+
+
+class TestWritebackSweep:
+    def test_single_line_latency_near_100_cycles(self):
+        """§7.2: one CBO.X to one line costs about 100 cycles."""
+        result = writeback_sweep(64, threads=1, repeats=3)
+        assert 70 <= result.median <= 140
+
+    def test_latency_grows_with_size(self):
+        small = writeback_sweep(64, repeats=2).median
+        large = writeback_sweep(4 * KIB, repeats=2).median
+        assert large > small * 3
+
+    def test_threads_reduce_latency(self):
+        """§7.2: splitting the flush across threads approaches linear."""
+        one = writeback_sweep(8 * KIB, threads=1, repeats=2).median
+        four = writeback_sweep(8 * KIB, threads=4, repeats=2).median
+        assert four < one / 2
+
+    def test_clean_and_flush_equal_in_isolation(self):
+        """§7.2: CBO.CLEAN and CBO.FLUSH are equivalent in isolation."""
+        flush = writeback_sweep(2 * KIB, clean=False, repeats=2).median
+        clean = writeback_sweep(2 * KIB, clean=True, repeats=2).median
+        assert clean == pytest.approx(flush, rel=0.1)
+
+    def test_samples_counted(self):
+        result = writeback_sweep(64, repeats=4)
+        assert len(result.samples) == 4
+
+
+class TestCleanVsFlushReread:
+    def test_clean_reread_faster(self):
+        """Figure 10: re-read after clean ~2x faster than after flush."""
+        clean = clean_vs_flush_reread(512, clean=True, repeats=2).median
+        flush = clean_vs_flush_reread(512, clean=False, repeats=2).median
+        assert flush > clean * 1.5
+
+    def test_op_label(self):
+        assert clean_vs_flush_reread(64, clean=True, repeats=1).op == "clean"
+
+
+class TestRedundantWriteback:
+    def test_skip_it_beats_naive(self):
+        """Figure 13: Skip It removes the redundant-writeback cost."""
+        naive = redundant_writeback_latency(512, skip_it=False, repeats=2).median
+        skipit = redundant_writeback_latency(512, skip_it=True, repeats=2).median
+        assert skipit < naive * 0.9
+
+    def test_gap_grows_with_redundancy(self):
+        naive_0 = redundant_writeback_latency(
+            256, skip_it=False, redundant=0, repeats=2
+        ).median
+        naive_10 = redundant_writeback_latency(
+            256, skip_it=False, redundant=10, repeats=2
+        ).median
+        skip_10 = redundant_writeback_latency(
+            256, skip_it=True, redundant=10, repeats=2
+        ).median
+        assert naive_10 > naive_0  # redundant CBOs cost the naive design
+        assert skip_10 < naive_10
+
+
+class TestDataStructureBenchmark:
+    def test_applicability_matrix(self):
+        assert not DataStructureBenchmark("bst", "manual", "link-and-persist").applicable
+        assert DataStructureBenchmark("bst", "manual", "skipit").applicable
+        assert DataStructureBenchmark("list", "manual", "link-and-persist").applicable
+
+    def test_inapplicable_run_raises(self):
+        bench = DataStructureBenchmark("bst", "manual", "link-and-persist")
+        with pytest.raises(ValueError):
+            bench.run(duration=1000)
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            DataStructureBenchmark("btree", "manual", "plain")
+
+    def test_result_fields(self):
+        bench = DataStructureBenchmark(
+            "hashtable", "manual", "skipit", key_range=256
+        )
+        result = bench.run(duration=20_000, warmup_ops=20)
+        assert result.total_ops > 0
+        assert result.elapsed_cycles >= 20_000
+        assert result.throughput_mops > 0
+
+    def test_skip_it_filters_redundant_flushes(self):
+        bench = DataStructureBenchmark(
+            "hashtable", "automatic", "skipit", key_range=256
+        )
+        result = bench.run(duration=30_000, warmup_ops=50)
+        assert result.cbo_skipped > result.cbo_issued
+
+    def test_plain_issues_every_request(self):
+        bench = DataStructureBenchmark(
+            "hashtable", "automatic", "plain", key_range=256
+        )
+        result = bench.run(duration=20_000, warmup_ops=20)
+        assert result.cbo_skipped == 0
+        assert result.cbo_issued > 0

@@ -1,0 +1,89 @@
+"""Shape tests for the commercial-CPU writeback latency models (§7.3)."""
+
+import pytest
+
+from repro.xarch.models import (
+    amd_epyc_7763,
+    graviton3,
+    intel_xeon_6238t,
+    platform_models,
+)
+
+KIB = 1024
+
+
+class TestIntel:
+    def test_clflush_serializes(self):
+        """Intel clflush latency explodes with size (Figure 11)."""
+        intel = intel_xeon_6238t()
+        small = intel.latency("clflush", 64)
+        big = intel.latency("clflush", 32 * KIB)
+        assert big / small > 100
+
+    def test_clflushopt_pipelines(self):
+        intel = intel_xeon_6238t()
+        assert intel.latency("clflushopt", 32 * KIB) < intel.latency(
+            "clflush", 32 * KIB
+        ) / 10
+
+    def test_clwb_cheapest_variant(self):
+        intel = intel_xeon_6238t()
+        for size in (64, 4 * KIB, 32 * KIB):
+            assert intel.latency("clwb", size) <= intel.latency(
+                "clflushopt", size
+            )
+
+
+class TestAmd:
+    def test_clflush_equals_clflushopt(self):
+        """§7.3: AMD's clflush and clflushopt perform nearly identically."""
+        amd = amd_epyc_7763()
+        for size in (64, KIB, 32 * KIB):
+            a = amd.latency("clflush", size)
+            b = amd.latency("clflushopt", size)
+            assert a == pytest.approx(b, rel=0.01)
+
+
+class TestGraviton:
+    def test_sublinear_growth(self):
+        g = graviton3()
+        small = g.latency("dccivac", KIB)
+        big = g.latency("dccivac", 32 * KIB)
+        assert big / small < 32  # grows much slower than linearly
+
+    def test_overtakes_intel_clflush_at_large_sizes(self):
+        g = graviton3()
+        intel = intel_xeon_6238t()
+        assert g.latency("dccivac", 32 * KIB) < intel.latency(
+            "clflush", 32 * KIB
+        )
+
+
+class TestGeneralShape:
+    @pytest.mark.parametrize("platform", ["intel", "amd", "graviton3"])
+    def test_monotone_in_size(self, platform):
+        model = platform_models()[platform]
+        for instruction in model.variants():
+            latencies = [
+                model.latency(instruction, s)
+                for s in (64, 256, KIB, 4 * KIB, 16 * KIB, 32 * KIB)
+            ]
+            assert latencies == sorted(latencies)
+
+    @pytest.mark.parametrize("platform", ["intel", "amd", "graviton3"])
+    def test_threads_reduce_latency_for_large_sizes(self, platform):
+        model = platform_models()[platform]
+        for instruction in model.variants():
+            one = model.latency(instruction, 32 * KIB, threads=1)
+            eight = model.latency(instruction, 32 * KIB, threads=8)
+            assert eight < one
+
+    def test_sub_line_sizes_clamped(self):
+        intel = intel_xeon_6238t()
+        assert intel.latency("clwb", 1) == intel.latency("clwb", 64)
+
+    def test_platform_registry(self):
+        models = platform_models()
+        assert set(models) == {"intel", "amd", "graviton3"}
+        assert models["intel"].variants() == ["clflush", "clflushopt", "clwb"]
+        assert models["graviton3"].variants() == ["dccivac", "dccvac"]
