@@ -79,6 +79,50 @@ def _render_throughput(rows: List[ThroughputRow]) -> str:
     )
 
 
+#: timing.system counters worth surfacing in the per-figure summary
+_METRIC_KEYS = (
+    "cbo_issued",
+    "cbo_skipped",
+    "cbo_dram",
+    "cbo_l2_clean",
+    "fences",
+    "l1_hits",
+    "l1_misses",
+)
+
+
+def _render_metrics_summary(rows: List[ThroughputRow]) -> str:
+    """Aggregate the rows' metrics snapshots (``timing.system.*``).
+
+    Each row carries the hierarchical registry snapshot its run produced;
+    the report surfaces the writeback-related counters so a reader can
+    check e.g. the Figure-13-style skip ratio without re-running.
+    """
+    totals: dict = {}
+    sampled = 0
+    for row in rows:
+        if not row.metrics:
+            continue
+        system = row.metrics.get("timing", {}).get("system", {})
+        if not isinstance(system, dict):
+            continue
+        sampled += 1
+        for key in _METRIC_KEYS:
+            totals[key] = totals.get(key, 0) + int(system.get(key, 0))
+    if not sampled:
+        return ""
+    issued = totals.get("cbo_issued", 0)
+    skipped = totals.get("cbo_skipped", 0)
+    ratio = skipped / (issued + skipped) if issued + skipped else 0.0
+    table = _markdown_table(
+        ["metric", "total"], [(k, totals.get(k, 0)) for k in _METRIC_KEYS]
+    )
+    return (
+        f"\nMetrics snapshots aggregated over {sampled} runs "
+        f"(skip ratio {ratio:.1%}):\n\n{table}"
+    )
+
+
 def build_report(
     figures: Optional[Sequence[int]] = None, quick: bool = True
 ) -> str:
@@ -97,4 +141,7 @@ def build_report(
             sections.append(_render_micro(rows))
         else:
             sections.append(_render_throughput(rows))
+            summary = _render_metrics_summary(rows)
+            if summary:
+                sections.append(summary)
     return "\n".join(sections) + "\n"

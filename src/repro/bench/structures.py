@@ -27,6 +27,8 @@ class ThroughputRow:
     flush_requests: int = 0
     cbo_issued: int = 0
     cbo_skipped: int = 0
+    #: ``timing.*`` metrics snapshot from the run (None when inapplicable)
+    metrics: Optional[Dict[str, object]] = None
 
 
 def _run_cell(
@@ -64,6 +66,7 @@ def _run_cell(
         flush_requests=result.flush_requests,
         cbo_issued=result.cbo_issued,
         cbo_skipped=result.cbo_skipped,
+        metrics=result.metrics,
     )
 
 

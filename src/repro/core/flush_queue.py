@@ -102,6 +102,11 @@ class FlushQueue:
     def peek(self) -> FlushRequest:
         return self._entries[0]
 
+    @property
+    def entries(self) -> List[FlushRequest]:
+        """Snapshot of the queue contents (diagnostics/observability)."""
+        return list(self._entries)
+
     def entries_for(self, address: int) -> List[FlushRequest]:
         return [e for e in self._entries if e.address == address]
 

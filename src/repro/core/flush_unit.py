@@ -55,6 +55,22 @@ class FlushUnit:
         self._rr_next = 0  # round-robin allocation pointer (§5.2)
         self.flush_counter = 0
         self.stats = StatCounter()
+        self.obs = None  # observability bus; attached via repro.obs.attach
+
+    # ------------------------------------------------------- observability
+    @property
+    def _track(self) -> str:
+        return f"core{self.l1.agent_id}.flush_unit"
+
+    def _obs_instant(self, name: str, address: int, kind: CboKind) -> None:
+        self.obs.emit(
+            self.l1.engine.cycle,
+            "cbo",
+            name,
+            track=self._track,
+            address=address,
+            kind=kind.value,
+        )
 
     # ------------------------------------------------------------- signals
     @property
@@ -136,6 +152,8 @@ class FlushUnit:
             # cbo.inval, whose invalidation is architecturally required.
             if self.params.skip_it and not entry.dirty and entry.skip:
                 self.stats.inc("skipped")
+                if self.obs is not None:
+                    self._obs_instant("skipped", address, kind)
                 return OfferResult.SKIPPED
         # Coalescing (§5.3): a same-kind CBO.X to a line already pending in
         # the queue adds nothing — the queued request will write back every
@@ -145,8 +163,12 @@ class FlushUnit:
             for entry_ in self.queue.entries_for(address):
                 if entry_.kind is kind:
                     self.stats.inc("coalesced")
+                    if self.obs is not None:
+                        self._obs_instant("coalesced", address, kind)
                     return OfferResult.COALESCED
                 if self._cross_coalesce(entry_, kind):
+                    if self.obs is not None:
+                        self._obs_instant("coalesced", address, kind)
                     return OfferResult.COALESCED
         # §5.3: any other CBO.X dependent on a pending same-line request
         # must nack — enqueueing it now would sample metadata that the
@@ -154,9 +176,13 @@ class FlushUnit:
         # the line after this request recorded a hit).
         if self.pending_for(address):
             self.stats.inc("nacked_dependent")
+            if self.obs is not None:
+                self._obs_instant("nacked_dependent", address, kind)
             return OfferResult.NACK
         if self.queue.full:
             self.stats.inc("nacked_full")
+            if self.obs is not None:
+                self._obs_instant("nacked_full", address, kind)
             return OfferResult.NACK
         if hit is not None:
             way, meta = hit
@@ -175,6 +201,21 @@ class FlushUnit:
         self.queue.push(request)
         self.flush_counter += 1
         self.stats.inc("enqueued")
+        if self.obs is not None:
+            # one span per CBO.X: flush-queue wait, then every FSHR FSM
+            # state, closed by the RootReleaseAck (§5.2, Figure 7)
+            self.obs.open_span(
+                self.l1.engine.cycle,
+                f"cbo:{request.flush_id}",
+                "cbo",
+                name=f"cbo.{kind.value}",
+                track=self._track,
+                state="queued",
+                address=address,
+                kind=kind.value,
+                hit=request.is_hit,
+                dirty=request.is_dirty,
+            )
         return OfferResult.ACCEPTED
 
     def _cross_coalesce(self, pending: FlushRequest, kind: CboKind) -> bool:
@@ -202,15 +243,42 @@ class FlushUnit:
     # ------------------------------------------------- interference (§5.4)
     def probe_invalidate(self, address: int, cap: Cap) -> None:
         """Probe unit reports a downgrade of *address* (§5.4.1)."""
+        if self.obs is not None:
+            for entry in self.queue.entries_for(address):
+                self.obs.annotate(
+                    f"cbo:{entry.flush_id}", probe_downgraded=cap.name
+                )
         touched = self.queue.probe_invalidate(address, cap)
         if touched:
             self.stats.inc("probe_invalidated", touched)
+            if self.obs is not None:
+                self.obs.emit(
+                    self.l1.engine.cycle,
+                    "cbo",
+                    "probe_invalidated",
+                    track=self._track,
+                    address=address,
+                    cap=cap.name,
+                    touched=touched,
+                )
 
     def evict_invalidate(self, address: int) -> None:
         """Writeback unit reports the eviction of *address* (§5.4.2)."""
+        if self.obs is not None:
+            for entry in self.queue.entries_for(address):
+                self.obs.annotate(f"cbo:{entry.flush_id}", evict_downgraded=True)
         touched = self.queue.evict_invalidate(address)
         if touched:
             self.stats.inc("evict_invalidated", touched)
+            if self.obs is not None:
+                self.obs.emit(
+                    self.l1.engine.cycle,
+                    "cbo",
+                    "evict_invalidated",
+                    track=self._track,
+                    address=address,
+                    touched=touched,
+                )
 
     # ---------------------------------------------------------------- tick
     def tick(self, cycle: int) -> None:
@@ -238,6 +306,10 @@ class FlushUnit:
         )
         fshr.accept(request, fill_cycles)
         self.stats.inc("fshr_allocated")
+        if self.obs is not None:
+            self.obs.transition(
+                cycle, f"cbo:{request.flush_id}", fshr.state.value, fshr=fshr.index
+            )
         self.l1.engine.note_progress()
 
     def _free_fshr(self) -> Optional[Fshr]:
@@ -255,6 +327,7 @@ class FlushUnit:
                 continue
             request = fshr.request
             assert request is not None
+            prev_state = fshr.state
             if fshr.state is FshrState.META_WRITE:
                 self._apply_meta_write(request)
                 fshr.after_meta_write()
@@ -267,6 +340,10 @@ class FlushUnit:
                 self._send_release(fshr, request, with_data=True, cycle=cycle)
             elif fshr.state is FshrState.ROOT_RELEASE:
                 self._send_release(fshr, request, with_data=False, cycle=cycle)
+            if self.obs is not None and fshr.state is not prev_state:
+                self.obs.transition(
+                    cycle, f"cbo:{request.flush_id}", fshr.state.value
+                )
             self.l1.engine.note_progress()
 
     def _apply_meta_write(self, request: FlushRequest) -> None:
@@ -303,6 +380,10 @@ class FlushUnit:
                 self.stats.inc("acks")
                 if request.kind is CboKind.CLEAN:
                     self._maybe_set_skip(request)
+                if self.obs is not None:
+                    self.obs.close_span(
+                        self.l1.engine.cycle, f"cbo:{request.flush_id}"
+                    )
                 self.l1.engine.note_progress()
                 return
         raise RuntimeError(f"RootReleaseAck for {address:#x} with no waiting FSHR")

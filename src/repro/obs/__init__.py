@@ -1,0 +1,66 @@
+"""Unified observability layer: metrics, events, spans, exporters.
+
+The paper's central claims are microarchitectural: §5.4 argues the
+probe/flush/writeback handshake cannot deadlock, §7.4 counts the
+redundant writebacks Skip It eliminates.  Checking either requires
+*watching* the machine — which FSHR held a line for how many cycles,
+which TileLink message was (not) emitted, which queue back-pressured.
+This package makes that a subsystem instead of an afterthought:
+
+* :mod:`repro.obs.registry` — a hierarchical :class:`MetricsRegistry`
+  (``soc.core0.l1.flush_unit.*``) adopting every component's existing
+  :class:`~repro.sim.stats.StatCounter`/``Histogram``, plus gauges, with
+  a single JSON-serialisable ``snapshot()``;
+* :mod:`repro.obs.events` — a cycle-timestamped :class:`EventBus` with
+  *spans* tracking the full lifetime of each CBO.X request across the
+  FSHR FSM, each L1/L2 MSHR, each probe and eviction, with per-state
+  latency histograms;
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event exporters
+  (open a run in Perfetto / ``chrome://tracing``) plus summaries;
+* :mod:`repro.obs.attach` — wiring: :class:`Observability` attaches a
+  bus + registry to a :class:`~repro.uarch.soc.Soc`; every hook in the
+  simulator is a no-op (``if self.obs is not None``) until then.
+
+``python -m repro.obs`` records, summarizes, and converts traces.
+"""
+
+from repro.obs.events import Event, EventBus, Span, describe_message
+from repro.obs.registry import MetricsRegistry
+from repro.obs.attach import (
+    Observability,
+    acquire_bus,
+    attach_timing,
+    detach_timing,
+    release_bus,
+    soc_registry,
+    timing_registry,
+)
+from repro.obs.export import (
+    chrome_trace,
+    hottest_lines,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Span",
+    "MetricsRegistry",
+    "Observability",
+    "acquire_bus",
+    "release_bus",
+    "attach_timing",
+    "detach_timing",
+    "soc_registry",
+    "timing_registry",
+    "describe_message",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "hottest_lines",
+]

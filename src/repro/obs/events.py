@@ -1,0 +1,292 @@
+"""Cycle-timestamped structured events and spans.
+
+The :class:`EventBus` is the single sink every instrumentation hook in
+the simulator writes to.  Components hold an ``obs`` attribute that is
+``None`` by default; hooks are guarded by ``if self.obs is not None`` so
+an unobserved run pays one attribute load per hook site and nothing
+else.  When a bus is attached (:func:`repro.obs.attach.acquire_bus`),
+hooks produce two kinds of records:
+
+* **events** — instants: a TileLink message leaving a channel, a CBO.X
+  dropped by Skip It, a fence committing;
+* **spans** — lifetimes: one span per CBO.X request from flush-queue
+  enqueue through every FSHR FSM state to the RootReleaseAck, one per
+  L1/L2 MSHR allocation, one per probe and per eviction.  Each span
+  records its per-state segments, so "where do flush cycles go" is
+  answerable per request, and per-state latency histograms aggregate
+  the answer across a run.
+
+The bus never raises into the simulator: closing an unknown span or
+re-opening a live key is recorded in ``dropped`` and otherwise ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.stats import Histogram
+
+#: default bound on the in-memory event buffer; long runs must not grow
+#: without limit (the deadlock dump only ever needs the tail anyway).
+DEFAULT_MAX_EVENTS = 100_000
+
+
+def describe_message(message) -> str:
+    """One-line description of a TileLink message's salient fields."""
+    parts = []
+    for attribute in ("grow", "cap", "shrink", "param"):
+        value = getattr(message, attribute, None)
+        if value is not None:
+            parts.append(f"{attribute}={getattr(value, 'value', value)}")
+    if getattr(message, "data", None) is not None:
+        parts.append(f"data[{len(message.data)}B]")
+    if getattr(message, "dirty", False):
+        parts.append("dirty")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One instantaneous occurrence at a cycle."""
+
+    cycle: int
+    category: str  # "tilelink", "cbo", "l1_mshr", "core", ...
+    name: str
+    track: str = ""  # hierarchical source, e.g. "core0.flush_unit"
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycle": self.cycle,
+            "category": self.category,
+            "name": self.name,
+            "track": self.track,
+            "args": dict(self.args),
+        }
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.args.items())
+        return (
+            f"[{self.cycle:>6}] {self.track:<22} {self.category}:{self.name} "
+            f"{extras}".rstrip()
+        )
+
+
+@dataclass
+class Span:
+    """The lifetime of one request, segmented by FSM state."""
+
+    key: str
+    category: str
+    name: str
+    track: str
+    start: int
+    args: Dict[str, object] = field(default_factory=dict)
+    #: closed segments as ``[state, start_cycle, end_cycle]``
+    states: List[List[object]] = field(default_factory=list)
+    end: Optional[int] = None
+    _state: Optional[str] = None  # open segment's state
+    _state_start: int = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> int:
+        if self.end is None:
+            raise ValueError(f"span {self.key} still open")
+        return self.end - self.start
+
+    @property
+    def current_state(self) -> Optional[str]:
+        return self._state
+
+    def state_durations(self) -> Dict[str, int]:
+        """Total cycles per state name; sums to :attr:`duration` when closed."""
+        out: Dict[str, int] = {}
+        for state, seg_start, seg_end in self.states:
+            out[state] = out.get(state, 0) + (seg_end - seg_start)
+        return out
+
+    # -------------------------------------------------------- bus internals
+    def _enter(self, state: str, cycle: int) -> None:
+        if self._state is not None:
+            self.states.append([self._state, self._state_start, cycle])
+        self._state = state
+        self._state_start = cycle
+
+    def _close(self, cycle: int) -> None:
+        if self._state is not None:
+            self.states.append([self._state, self._state_start, cycle])
+            self._state = None
+        self.end = cycle
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "category": self.category,
+            "name": self.name,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+            "states": [list(seg) for seg in self.states],
+            "args": dict(self.args),
+        }
+
+
+class EventBus:
+    """Collects events and spans; fans events out to subscribers.
+
+    Parameters
+    ----------
+    max_events:
+        Bound on the buffered event deque (``None`` = unbounded).  The
+        default keeps long runs from growing the buffer without limit.
+    max_spans:
+        Bound on the completed-span deque (``None`` = unbounded).
+    record_events:
+        When False the bus only notifies subscribers and maintains
+        spans/histograms, buffering no events itself.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+        max_spans: Optional[int] = None,
+        record_events: bool = True,
+    ) -> None:
+        self.events: Deque[Event] = deque(maxlen=max_events)
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self.record_events = record_events
+        self.dropped = 0  # malformed span operations, never raised
+        self.refs = 0  # attach/detach bookkeeping (see repro.obs.attach)
+        self._open: Dict[str, Span] = {}
+        self._subscribers: List[Callable[[Event], None]] = []
+        #: per (category, state) latency histograms, filled on span close
+        self.state_latency: Dict[Tuple[str, str], Histogram] = {}
+        #: per category whole-span latency histograms
+        self.span_latency: Dict[str, Histogram] = {}
+
+    # ---------------------------------------------------------- subscribers
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
+
+    # --------------------------------------------------------------- events
+    def emit(
+        self, cycle: int, category: str, name: str, track: str = "", **args
+    ) -> None:
+        event = Event(cycle=cycle, category=category, name=name, track=track, args=args)
+        if self.record_events:
+            self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    def last_events(self, count: int = 32) -> List[Dict[str, object]]:
+        """The newest *count* events as plain dicts (deadlock dumps)."""
+        tail = list(self.events)[-count:]
+        return [event.to_dict() for event in tail]
+
+    # ---------------------------------------------------------------- spans
+    @property
+    def open_spans(self) -> Dict[str, Span]:
+        return dict(self._open)
+
+    def open_span(
+        self,
+        cycle: int,
+        key: str,
+        category: str,
+        name: str,
+        track: str = "",
+        state: str = "open",
+        **args,
+    ) -> Span:
+        if key in self._open:
+            # a live key is re-opened only on observer misuse; keep going
+            self.dropped += 1
+            self._open.pop(key)
+        span = Span(
+            key=key, category=category, name=name, track=track, start=cycle, args=args
+        )
+        span._enter(state, cycle)
+        self._open[key] = span
+        self.emit(cycle, category, f"{name}:begin", track=track, key=key, **args)
+        return span
+
+    def transition(self, cycle: int, key: str, state: str, **args) -> None:
+        span = self._open.get(key)
+        if span is None:
+            self.dropped += 1
+            return
+        span._enter(state, cycle)
+        span.args.update(args)
+        self.emit(
+            cycle, span.category, f"{span.name}:{state}", track=span.track, key=key
+        )
+
+    def annotate(self, key: str, **args) -> None:
+        """Attach args to an open span without changing its state."""
+        span = self._open.get(key)
+        if span is None:
+            self.dropped += 1
+            return
+        span.args.update(args)
+
+    def close_span(self, cycle: int, key: str, **args) -> Optional[Span]:
+        span = self._open.pop(key, None)
+        if span is None:
+            self.dropped += 1
+            return None
+        span.args.update(args)
+        span._close(cycle)
+        self.spans.append(span)
+        self._account(span)
+        self.emit(
+            cycle,
+            span.category,
+            f"{span.name}:end",
+            track=span.track,
+            key=key,
+            duration=span.duration,
+        )
+        return span
+
+    def _account(self, span: Span) -> None:
+        for state, duration in span.state_durations().items():
+            hist = self.state_latency.get((span.category, state))
+            if hist is None:
+                hist = self.state_latency[(span.category, state)] = Histogram()
+            hist.add(duration)
+        hist = self.span_latency.get(span.category)
+        if hist is None:
+            hist = self.span_latency[span.category] = Histogram()
+        hist.add(span.duration)
+
+    # ------------------------------------------------------------ summaries
+    def latency_summary(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{category: {state|'total': Histogram.summary()}}``."""
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (category, state), hist in sorted(self.state_latency.items()):
+            out.setdefault(category, {})[state] = hist.summary()
+        for category, hist in sorted(self.span_latency.items()):
+            out.setdefault(category, {})["total"] = hist.summary()
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.spans.clear()
+        self._open.clear()
+        self.state_latency.clear()
+        self.span_latency.clear()
+        self.dropped = 0

@@ -1,0 +1,257 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON (Perfetto).
+
+A recorded run is written as JSON Lines — one self-describing record per
+line (``{"type": "event", ...}`` / ``{"type": "span", ...}``) — which
+streams well and survives truncation.  ``chrome_trace`` converts events
+and spans into the Chrome trace-event format [1] that Perfetto and
+``chrome://tracing`` open directly: spans become complete (``"X"``)
+slices, one per FSM-state segment nested under one slice per request,
+and instant events become ``"i"`` marks.  Cycle numbers are used as
+microsecond timestamps (1 cycle = 1 us on the viewer's axis).
+
+[1] https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import Event, EventBus, Span
+
+#: phases legal in the trace-event schema that this exporter emits
+CHROME_PHASES = ("X", "i", "M")
+
+
+# ------------------------------------------------------------------- JSONL
+def write_jsonl(path: str, bus: EventBus) -> int:
+    """Write every buffered event and completed span; return record count."""
+    written = 0
+    with open(path, "w") as handle:
+        for event in bus.events:
+            record = event.to_dict()
+            record["type"] = "event"
+            handle.write(json.dumps(record, default=str) + "\n")
+            written += 1
+        for span in bus.spans:
+            record = span.to_dict()
+            record["type"] = "span"
+            handle.write(json.dumps(record, default=str) + "\n")
+            written += 1
+    return written
+
+
+def read_jsonl(path: str) -> Tuple[List[dict], List[dict]]:
+    """Read a trace back as ``(event_dicts, span_dicts)``."""
+    events: List[dict] = []
+    spans: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "span":
+                spans.append(record)
+            elif record.get("type") == "event":
+                events.append(record)
+    return events, spans
+
+
+# ------------------------------------------------------------ Chrome trace
+def _as_dicts(items: Iterable) -> List[dict]:
+    return [item.to_dict() if isinstance(item, (Event, Span)) else item for item in items]
+
+
+def chrome_trace(
+    events: Iterable = (),
+    spans: Iterable = (),
+    include_events: bool = True,
+) -> Dict[str, object]:
+    """Build a trace-event JSON object from events and spans.
+
+    Accepts :class:`Event`/:class:`Span` objects or their dict forms
+    (as returned by :func:`read_jsonl`).
+    """
+    events = _as_dicts(events)
+    spans = _as_dicts(spans)
+    trace: List[dict] = []
+    tids: Dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tids[track],
+                    "args": {"name": track or "events"},
+                }
+            )
+        return tids[track]
+
+    for span in spans:
+        if span.get("end") is None:
+            continue  # still open at export time
+        tid = tid_of(span.get("track", ""))
+        args = dict(span.get("args", {}))
+        args["key"] = span.get("key", "")
+        trace.append(
+            {
+                "name": span["name"],
+                "cat": span.get("category", ""),
+                "ph": "X",
+                "ts": span["start"],
+                "dur": span["end"] - span["start"],
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for state, seg_start, seg_end in span.get("states", []):
+            trace.append(
+                {
+                    "name": f"{span['name']}.{state}",
+                    "cat": span.get("category", ""),
+                    "ph": "X",
+                    "ts": seg_start,
+                    "dur": seg_end - seg_start,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"state": state, "key": span.get("key", "")},
+                }
+            )
+    if include_events:
+        for event in events:
+            # span begin/transition/end events are redundant with slices
+            name = event.get("name", "")
+            if ":" in name:
+                continue
+            trace.append(
+                {
+                    "name": name,
+                    "cat": event.get("category", ""),
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event["cycle"],
+                    "pid": 0,
+                    "tid": tid_of(event.get("track", "")),
+                    "args": dict(event.get("args", {})),
+                }
+            )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable = (), spans: Iterable = ()) -> int:
+    """Write trace-event JSON; return the number of trace entries."""
+    trace = chrome_trace(events, spans)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
+    """Check *trace* against the trace-event schema; return problems found.
+
+    An empty list means the trace validates: every entry carries the
+    required keys, uses a phase this exporter emits, and duration events
+    have non-negative integer timestamps/durations.
+    """
+    problems: List[str] = []
+    entries = trace.get("traceEvents")
+    if not isinstance(entries, list):
+        return ["traceEvents missing or not a list"]
+    for i, entry in enumerate(entries):
+        for required in ("name", "ph", "pid", "tid"):
+            if required not in entry:
+                problems.append(f"entry {i} missing {required!r}")
+        phase = entry.get("ph")
+        if phase not in CHROME_PHASES:
+            problems.append(f"entry {i} has unknown phase {phase!r}")
+        if phase in ("X", "i") and not isinstance(entry.get("ts"), int):
+            problems.append(f"entry {i} has non-integer ts")
+        if phase == "X":
+            duration = entry.get("dur")
+            if not isinstance(duration, int) or duration < 0:
+                problems.append(f"entry {i} has bad dur {duration!r}")
+        if phase == "i" and entry.get("s") not in ("g", "p", "t"):
+            problems.append(f"entry {i} instant scope {entry.get('s')!r}")
+    return problems
+
+
+# -------------------------------------------------------------- summaries
+def summarize(events: Iterable = (), spans: Iterable = ()) -> Dict[str, object]:
+    """Aggregate a trace: event counts, span counts and latency stats."""
+    events = _as_dicts(events)
+    spans = _as_dicts(spans)
+    event_counts: Dict[str, int] = {}
+    for event in events:
+        label = f"{event.get('category', '')}:{event.get('name', '')}"
+        event_counts[label] = event_counts.get(label, 0) + 1
+    span_stats: Dict[str, Dict[str, object]] = {}
+    for span in spans:
+        if span.get("end") is None:
+            continue
+        category = span.get("category", "")
+        bucket = span_stats.setdefault(
+            category, {"count": 0, "total_cycles": 0, "states": {}}
+        )
+        bucket["count"] += 1
+        bucket["total_cycles"] += span["end"] - span["start"]
+        for state, seg_start, seg_end in span.get("states", []):
+            states: Dict[str, int] = bucket["states"]  # type: ignore[assignment]
+            states[state] = states.get(state, 0) + (seg_end - seg_start)
+    for bucket in span_stats.values():
+        if bucket["count"]:
+            bucket["mean_cycles"] = bucket["total_cycles"] / bucket["count"]
+    first = min((e["cycle"] for e in events), default=None)
+    last = max((e["cycle"] for e in events), default=None)
+    return {
+        "events": len(events),
+        "spans": sum(b["count"] for b in span_stats.values()),
+        "first_cycle": first,
+        "last_cycle": last,
+        "event_counts": dict(sorted(event_counts.items())),
+        "span_stats": span_stats,
+    }
+
+
+def hottest_lines(
+    events: Iterable = (), spans: Iterable = (), top: int = 10
+) -> List[Dict[str, object]]:
+    """Top-N cache lines by observed activity.
+
+    Ranks line addresses by the number of spans touching them, breaking
+    ties by total span cycles; TileLink events count as activity too.
+    """
+    by_line: Dict[int, Dict[str, int]] = {}
+
+    def bucket(address: int) -> Dict[str, int]:
+        return by_line.setdefault(
+            address, {"spans": 0, "span_cycles": 0, "messages": 0}
+        )
+
+    for span in _as_dicts(spans):
+        address = span.get("args", {}).get("address")
+        if not isinstance(address, int):
+            continue
+        entry = bucket(address)
+        entry["spans"] += 1
+        if span.get("end") is not None:
+            entry["span_cycles"] += span["end"] - span["start"]
+    for event in _as_dicts(events):
+        if event.get("category") != "tilelink":
+            continue
+        address = event.get("args", {}).get("address")
+        if isinstance(address, int):
+            bucket(address)["messages"] += 1
+    ranked = sorted(
+        by_line.items(),
+        key=lambda kv: (kv[1]["spans"], kv[1]["span_cycles"], kv[1]["messages"]),
+        reverse=True,
+    )
+    return [
+        {"address": address, **counts} for address, counts in ranked[:top]
+    ]

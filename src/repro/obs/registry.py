@@ -1,0 +1,142 @@
+"""Hierarchical metrics registry.
+
+Adopts the simulator's existing :class:`~repro.sim.stats.StatCounter` and
+:class:`~repro.sim.stats.Histogram` instances under dotted paths
+(``soc.core0.l1.flush_unit``), adds callable *gauges* (queue occupancy,
+FSHRs in use, the flush counter) and *providers* (callables returning a
+whole dict subtree, e.g. the event bus's latency summary), and produces
+one nested ``snapshot()`` dict that serialises straight to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.sim.stats import Histogram, StatCounter
+
+Scalar = Union[int, float, bool, str, None]
+
+
+class MetricsRegistry:
+    """Maps dotted paths to counters, histograms, gauges and providers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, StatCounter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Callable[[], Scalar]] = {}
+        self._providers: Dict[str, Callable[[], Dict[str, object]]] = {}
+
+    # --------------------------------------------------------- registration
+    def _claim(self, path: str) -> None:
+        if not path:
+            raise ValueError("metric path must be non-empty")
+        if path in self.paths():
+            raise ValueError(f"metric path {path!r} already registered")
+
+    def register_counter(self, path: str, counter: StatCounter) -> StatCounter:
+        """Adopt an existing component counter under *path*."""
+        self._claim(path)
+        self._counters[path] = counter
+        return counter
+
+    def register_histogram(self, path: str, histogram: Histogram) -> Histogram:
+        self._claim(path)
+        self._histograms[path] = histogram
+        return histogram
+
+    def register_gauge(self, path: str, fn: Callable[[], Scalar]) -> None:
+        """A gauge is sampled (called) at snapshot time."""
+        self._claim(path)
+        self._gauges[path] = fn
+
+    def register_provider(
+        self, path: str, fn: Callable[[], Dict[str, object]]
+    ) -> None:
+        """A provider contributes a whole dict subtree at snapshot time."""
+        self._claim(path)
+        self._providers[path] = fn
+
+    def counter(self, path: str) -> StatCounter:
+        """Get-or-create a registry-owned counter at *path*."""
+        if path not in self._counters:
+            self.register_counter(path, StatCounter())
+        return self._counters[path]
+
+    def histogram(self, path: str) -> Histogram:
+        if path not in self._histograms:
+            self.register_histogram(path, Histogram())
+        return self._histograms[path]
+
+    def unregister_prefix(self, prefix: str) -> int:
+        """Drop every metric at or under *prefix*; return how many."""
+        removed = 0
+        for table in (self._counters, self._histograms, self._gauges, self._providers):
+            for path in [p for p in table if p == prefix or p.startswith(prefix + ".")]:
+                del table[path]
+                removed += 1
+        return removed
+
+    # -------------------------------------------------------------- queries
+    def paths(self) -> List[str]:
+        return sorted(
+            list(self._counters)
+            + list(self._histograms)
+            + list(self._gauges)
+            + list(self._providers)
+        )
+
+    def get(self, path: str):
+        for table in (self._counters, self._histograms, self._gauges, self._providers):
+            if path in table:
+                return table[path]
+        raise KeyError(path)
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict[str, object]:
+        """One nested dict of everything, JSON-serialisable."""
+        tree: Dict[str, object] = {}
+        for path, counter in self._counters.items():
+            _assign(tree, path, dict(sorted(counter.as_dict().items())))
+        for path, histogram in self._histograms.items():
+            _assign(tree, path, histogram.summary())
+        for path, fn in self._gauges.items():
+            _assign(tree, path, fn())
+        for path, fn in self._providers.items():
+            _assign(tree, path, fn())
+        return tree
+
+    def flat(self) -> Dict[str, Scalar]:
+        """The snapshot flattened to ``{dotted.path: scalar}``."""
+        out: Dict[str, Scalar] = {}
+        _flatten(self.snapshot(), "", out)
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
+
+
+def _assign(tree: Dict[str, object], path: str, value: object) -> None:
+    """Place *value* at the dotted *path*, merging dicts on collision."""
+    parts = path.split(".")
+    node = tree
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {} if child is None else {"value": child}
+            node[part] = child
+        node = child
+    leaf = parts[-1]
+    existing = node.get(leaf)
+    if isinstance(existing, dict) and isinstance(value, dict):
+        existing.update(value)
+    else:
+        node[leaf] = value
+
+
+def _flatten(node: object, prefix: str, out: Dict[str, Scalar]) -> None:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(value, f"{prefix}.{key}" if prefix else str(key), out)
+    else:
+        out[prefix] = node  # type: ignore[assignment]

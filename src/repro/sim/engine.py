@@ -12,16 +12,46 @@ without any component reporting progress (via :meth:`Engine.note_progress`),
 the run aborts with :class:`SimulationDeadlock`.  The paper devotes §5.4 to
 arguing deadlock freedom of the probe/flush/writeback handshake; the
 watchdog is how this reproduction falsifies that argument if the model ever
-violates it.
+violates it.  To make a firing watchdog debuggable rather than a bare
+stack trace, components may register *diagnostics providers*
+(:meth:`Engine.add_diagnostics`); when the watchdog fires, their dumps —
+queue occupancies, in-flight FSHR/MSHR states — plus the last events from
+an attached observability bus travel on the exception as ``.report``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol
+import json
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+#: how many trailing bus events a deadlock report carries
+DEADLOCK_EVENT_TAIL = 32
+
+
+def format_deadlock_report(report: Dict[str, object]) -> str:
+    """Render a diagnostics report for the exception message."""
+    return json.dumps(report, indent=2, sort_keys=True, default=str)
 
 
 class SimulationDeadlock(RuntimeError):
-    """Raised when no component makes progress for the watchdog interval."""
+    """Raised when no component makes progress for the watchdog interval.
+
+    Attributes
+    ----------
+    report:
+        Structured diagnostics gathered at the moment the watchdog fired:
+        queue occupancies, in-flight FSHR/MSHR states, and (when an
+        observability bus is attached) the last events.  Empty when no
+        diagnostics providers were registered.
+    """
+
+    def __init__(self, message: str, report: Optional[Dict[str, object]] = None):
+        if report:
+            message = f"{message}\n--- deadlock diagnostics ---\n" + (
+                format_deadlock_report(report)
+            )
+        super().__init__(message)
+        self.report: Dict[str, object] = report or {}
 
 
 class Component(Protocol):
@@ -44,12 +74,20 @@ class Engine:
     def __init__(self, watchdog_interval: int = 200_000) -> None:
         self.cycle = 0
         self.watchdog_interval = watchdog_interval
+        self.obs = None  # observability bus; attached via repro.obs.attach
         self._components: List[Component] = []
         self._last_progress_cycle = 0
+        self._diagnostics: List[Tuple[str, Callable[[], Dict[str, object]]]] = []
 
     def register(self, component: Component) -> None:
         """Add *component* to the tick order (registration order is tick order)."""
         self._components.append(component)
+
+    def add_diagnostics(
+        self, name: str, provider: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Register a provider contributing a section to deadlock reports."""
+        self._diagnostics.append((name, provider))
 
     def note_progress(self) -> None:
         """Record that some component did useful work this cycle.
@@ -58,6 +96,21 @@ class Engine:
         instruction, or change architectural state.  Feeds the watchdog.
         """
         self._last_progress_cycle = self.cycle
+
+    def diagnostics_report(self) -> Dict[str, object]:
+        """Gather every provider's dump plus the trailing bus events."""
+        report: Dict[str, object] = {
+            "cycle": self.cycle,
+            "last_progress_cycle": self._last_progress_cycle,
+        }
+        for name, provider in self._diagnostics:
+            try:
+                report[name] = provider()
+            except Exception as exc:  # diagnostics must never mask the deadlock
+                report[name] = f"<diagnostics provider failed: {exc!r}>"
+        if self.obs is not None:
+            report["last_events"] = self.obs.last_events(DEADLOCK_EVENT_TAIL)
+        return report
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by *cycles* cycles."""
@@ -83,7 +136,8 @@ class Engine:
         while not predicate():
             if max_cycles is not None and self.cycle - start >= max_cycles:
                 raise SimulationDeadlock(
-                    f"predicate not satisfied within {max_cycles} cycles"
+                    f"predicate not satisfied within {max_cycles} cycles",
+                    report=self.diagnostics_report(),
                 )
             self.step()
         return self.cycle - start
@@ -95,5 +149,6 @@ class Engine:
             raise SimulationDeadlock(
                 f"no progress for {self.watchdog_interval} cycles "
                 f"(cycle {self.cycle}); probe/flush/writeback handshake "
-                "has deadlocked"
+                "has deadlocked",
+                report=self.diagnostics_report(),
             )

@@ -88,3 +88,30 @@ class Histogram:
         ordered = sorted(self._samples)
         idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return float(ordered[idx])
+
+    def summary(self) -> Dict[str, float]:
+        """Summary statistics dict; all zeros (not an error) when empty.
+
+        The metrics snapshot and the bench report call this on histograms
+        that may legitimately have no samples (e.g. a latency histogram
+        for an FSM state the run never visited).
+        """
+        if not self._samples:
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "median": 0.0,
+                "stdev": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+                "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "median": self.median(),
+            "stdev": self.stdev(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }

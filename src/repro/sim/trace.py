@@ -1,16 +1,29 @@
 """Non-invasive interconnect tracing.
 
-``TraceRecorder`` wraps the ``send`` method of every TileLink channel in a
-:class:`~repro.uarch.soc.Soc` and records one event per message: cycle,
-channel name, message type, address, and params.  Useful for debugging
-coherence interleavings and for tests that assert *which* messages a
-scenario produces (e.g. "this redundant clean generated no RootRelease").
+``TraceRecorder`` is a thin adapter over the observability event bus
+(:mod:`repro.obs`): attaching it acquires the SoC's shared
+:class:`~repro.obs.events.EventBus` (reference-counted, so it composes
+with :class:`~repro.obs.attach.Observability`), subscribes to the
+``tilelink`` event category, and keeps one :class:`TraceEvent` per
+message: cycle, channel name, message type, address, and params.  Useful
+for debugging coherence interleavings and for tests that assert *which*
+messages a scenario produces (e.g. "this redundant clean generated no
+RootRelease").
+
+``detach()`` unsubscribes and drops the bus reference; when it was the
+last holder, every instrumentation hook in the simulator reverts to a
+no-op.  ``max_events`` bounds memory on long runs: only the newest
+*max_events* records are kept.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Deque, List, Optional
+
+from repro.obs.attach import acquire_bus, release_bus
+from repro.obs.events import Event
 
 
 @dataclass(frozen=True)
@@ -31,19 +44,6 @@ class TraceEvent:
         )
 
 
-def _describe(message) -> str:
-    parts = []
-    for attribute in ("grow", "cap", "shrink", "param"):
-        value = getattr(message, attribute, None)
-        if value is not None:
-            parts.append(f"{attribute}={getattr(value, 'value', value)}")
-    if getattr(message, "data", None) is not None:
-        parts.append(f"data[{len(message.data)}B]")
-    if getattr(message, "dirty", False):
-        parts.append("dirty")
-    return " ".join(parts)
-
-
 class TraceRecorder:
     """Records channel traffic for a SoC.
 
@@ -54,42 +54,55 @@ class TraceRecorder:
         soc.run_programs([...])
         for event in trace.filter(message_type="ProbeAck"):
             print(event)
+        trace.detach()  # instrumentation reverts to no-ops
     """
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-        self._attached = False
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._soc = None
+        self._bus = None
 
     @classmethod
-    def attach(cls, soc) -> "TraceRecorder":
-        recorder = cls()
-        for link in soc.l2.links:
-            for name in "abcde":
-                recorder._wrap(getattr(link, name), soc)
-        for channel in (soc.dram.chan_a, soc.dram.chan_c, soc.dram.chan_d):
-            recorder._wrap(channel, soc)
-        recorder._attached = True
+    def attach(cls, soc, max_events: Optional[int] = None) -> "TraceRecorder":
+        recorder = cls(max_events=max_events)
+        recorder._soc = soc
+        recorder._bus = acquire_bus(soc)
+        recorder._bus.subscribe(recorder._on_event)
         return recorder
 
-    def _wrap(self, channel, soc) -> None:
-        original: Callable = channel.send
+    def detach(self) -> None:
+        """Stop recording and release the bus (restores no-op hooks)."""
+        if self._bus is None:
+            return
+        self._bus.unsubscribe(self._on_event)
+        release_bus(self._soc)
+        self._bus = None
+        self._soc = None
 
-        def traced_send(message, now, _original=original, _channel=channel):
-            self.events.append(
-                TraceEvent(
-                    cycle=soc.engine.cycle,
-                    channel=_channel.name,
-                    message_type=type(message).__name__,
-                    address=getattr(message, "address", 0),
-                    source=getattr(message, "source", -1),
-                    detail=_describe(message),
-                )
+    @property
+    def attached(self) -> bool:
+        return self._bus is not None
+
+    def _on_event(self, event: Event) -> None:
+        if event.category != "tilelink":
+            return
+        self._events.append(
+            TraceEvent(
+                cycle=event.cycle,
+                channel=event.track,
+                message_type=event.name,
+                address=event.args.get("address", 0),
+                source=event.args.get("source", -1),
+                detail=event.args.get("detail", ""),
             )
-            return _original(message, now)
-
-        channel.send = traced_send
+        )
 
     # ------------------------------------------------------------- queries
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
     def filter(
         self,
         message_type: Optional[str] = None,
@@ -109,7 +122,7 @@ class TraceRecorder:
         return len(self.filter(**kwargs))
 
     def clear(self) -> None:
-        self.events.clear()
+        self._events.clear()
 
     def dump(self, limit: Optional[int] = None) -> str:
         events = self.events if limit is None else self.events[-limit:]

@@ -28,6 +28,7 @@ class BeatChannel(Generic[M]):
         self.name = name
         self.bus_bytes = bus_bytes
         self.latency = latency
+        self.obs = None  # observability bus; attached via repro.obs.attach
         self._busy_until = 0
         self._in_flight: Deque[Tuple[int, M]] = deque()
 
@@ -44,6 +45,20 @@ class BeatChannel(Generic[M]):
         self._busy_until = start + beats
         deliver_at = start + beats + self.latency - 1
         self._in_flight.append((deliver_at, message))
+        if self.obs is not None:
+            from repro.obs.events import describe_message
+
+            self.obs.emit(
+                now,
+                "tilelink",
+                type(message).__name__,
+                track=self.name,
+                address=getattr(message, "address", 0),
+                source=getattr(message, "source", -1),
+                beats=beats,
+                deliver_at=deliver_at,
+                detail=describe_message(message),
+            )
         return deliver_at
 
     def pop_ready(self, now: int) -> Optional[M]:

@@ -106,6 +106,7 @@ class TimingSystem:
         self._line_words: Dict[int, Set[int]] = {}
         self.threads = [ThreadCtx(self, tid) for tid in range(p.num_threads)]
         self.stats = StatCounter()
+        self.obs = None  # observability bus; attached via repro.obs.attach_timing
 
     # ------------------------------------------------------------- helpers
     def line_of(self, address: int) -> int:
@@ -318,9 +319,27 @@ class TimingSystem:
         ):
             ctx.now += self.params.cbo_skip
             self.stats.inc("cbo_skipped")
+            if self.obs is not None:
+                self.obs.emit(
+                    ctx.now,
+                    "timing",
+                    "cbo_skipped",
+                    track=f"t{ctx.tid}",
+                    address=line,
+                    invalidate=invalidate,
+                )
             return
         ctx.now += self.params.cbo_issue
         self.stats.inc("cbo_issued")
+        if self.obs is not None:
+            self.obs.emit(
+                ctx.now,
+                "timing",
+                "cbo_issued",
+                track=f"t{ctx.tid}",
+                address=line,
+                invalidate=invalidate,
+            )
         rec = self.l2.get(line)
         latency = self.params.cbo_l2_roundtrip
         # a deeper hierarchy lengthens every writeback's path (§7.4):
@@ -383,11 +402,18 @@ class TimingSystem:
 
     def fence(self, ctx: ThreadCtx) -> None:
         """FENCE: wait for every outstanding writeback of this thread (§5.3)."""
+        waited = 0
         if ctx.outstanding:
-            ctx.now = max(ctx.now, max(ctx.outstanding))
+            horizon = max(ctx.outstanding)
+            waited = max(0, horizon - ctx.now)
+            ctx.now = max(ctx.now, horizon)
             ctx.outstanding.clear()
         ctx.now += self.params.fence_base
         self.stats.inc("fences")
+        if self.obs is not None:
+            self.obs.emit(
+                ctx.now, "timing", "fence", track=f"t{ctx.tid}", waited=waited
+            )
 
     # ------------------------------------------------------------ steady state
     def persist_all(self) -> None:

@@ -103,6 +103,7 @@ class Core:
         self.slots: List[_Slot] = []
         self.head = 0
         self.stats = StatCounter()
+        self.obs = None  # observability bus; attached via repro.obs.attach
         self.finish_cycle: Optional[int] = None
         self._by_req: Dict[int, _Slot] = {}
         l1.resp_sink = self
@@ -194,6 +195,14 @@ class Core:
             return
         slot.status = _Status.DONE
         self.stats.inc("fences")
+        if self.obs is not None:
+            self.obs.emit(
+                cycle,
+                "core",
+                "fence_commit",
+                track=f"core{self.core_id}",
+                index=index,
+            )
         self.engine.note_progress()
 
     def _fire(self, slot: _Slot, cycle: int) -> None:
@@ -226,6 +235,14 @@ class Core:
             self.engine.note_progress()
         if self.done and self.finish_cycle is None:
             self.finish_cycle = cycle
+            if self.obs is not None:
+                self.obs.emit(
+                    cycle,
+                    "core",
+                    "program_done",
+                    track=f"core{self.core_id}",
+                    instructions=len(self.slots),
+                )
 
     # --------------------------------------------------------- L1 callback
     def mem_response(self, req_id: int, value: int) -> None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.flush_queue import CboKind
 from repro.core.flush_unit import FlushUnit, OfferResult
@@ -70,6 +70,9 @@ class L1DataCache:
         self.probe_unit = ProbeUnit(self)
         self.stats = StatCounter()
         self.resp_sink = None  # set by the owning core
+        self.obs = None  # observability bus; attached via repro.obs.attach
+        self._obs_mshr_keys: Dict[int, str] = {}  # mshr index -> live span key
+        self._obs_seq = 0
         self._reserved_ways: Set[Tuple[int, int]] = set()
         self._mshr_victim_addr = {}
         # channels, wired by the SoC
@@ -219,6 +222,20 @@ class L1DataCache:
             )
         mshr.allocate(request, line, want, victim_way, needs_evict, grow)
         self.stats.inc("mshr_allocated")
+        if self.obs is not None:
+            key = f"mshr:l1{self.agent_id}:{self._obs_seq}"
+            self._obs_seq += 1
+            self._obs_mshr_keys[mshr.index] = key
+            self.obs.open_span(
+                self.engine.cycle,
+                key,
+                "l1_mshr",
+                name=f"mshr{mshr.index}",
+                track=f"core{self.agent_id}.mshrs",
+                state=mshr.state.value,
+                address=line,
+                grow=grow.name,
+            )
         return FireOutcome(later)
 
     # ---------------------------------------------------------------- tick
@@ -269,6 +286,10 @@ class L1DataCache:
         self.stats.inc("grants")
         if grant.dirty:
             self.stats.inc("grants_dirty")
+        if self.obs is not None and mshr.index in self._obs_mshr_keys:
+            self.obs.transition(
+                cycle, self._obs_mshr_keys[mshr.index], mshr.state.value
+            )
 
     def _step_mshrs(self, cycle: int) -> None:
         for mshr in self.mshrs:
@@ -277,6 +298,10 @@ class L1DataCache:
                     victim_addr = self._mshr_victim_addr.pop(mshr.index)
                     self.wbu.start_eviction(victim_addr, mshr.victim_way, cycle)
                     mshr.eviction_done()
+                    if self.obs is not None and mshr.index in self._obs_mshr_keys:
+                        self.obs.transition(
+                            cycle, self._obs_mshr_keys[mshr.index], mshr.state.value
+                        )
                     self.engine.note_progress()
             elif mshr.state is MshrState.ACQUIRE:
                 self.chan_a.send(
@@ -286,6 +311,10 @@ class L1DataCache:
                     cycle,
                 )
                 mshr.acquire_sent()
+                if self.obs is not None and mshr.index in self._obs_mshr_keys:
+                    self.obs.transition(
+                        cycle, self._obs_mshr_keys[mshr.index], mshr.state.value
+                    )
                 self.engine.note_progress()
             elif mshr.state is MshrState.REPLAY:
                 self._replay_one(mshr)
@@ -296,6 +325,10 @@ class L1DataCache:
             set_idx = self.geometry.set_index(mshr.address)
             self._reserved_ways.discard((set_idx, mshr.victim_way))
             mshr.free()
+            if self.obs is not None and mshr.index in self._obs_mshr_keys:
+                self.obs.close_span(
+                    self.engine.cycle, self._obs_mshr_keys.pop(mshr.index)
+                )
             return
         line = mshr.address
         set_idx = self.geometry.set_index(line)

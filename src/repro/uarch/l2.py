@@ -123,6 +123,12 @@ class InclusiveL2Cache:
         self.list_buffer: Deque[Tuple[str, object]] = deque()
         self._ingress: Deque[Tuple[int, str, object]] = deque()  # (ready, kind, msg)
         self.stats = StatCounter()
+        self.obs = None  # observability bus; attached via repro.obs.attach
+        # Per-slot (mshr object, span key, last seen state) for the poller:
+        # L2 MSHR state is mutated in a dozen places, so spans are derived
+        # by diffing slot contents once per tick instead of inline hooks.
+        self._obs_slots: List[Optional[Tuple[_L2Mshr, str, _MshrState]]] = []
+        self._obs_seq = 0
         engine.register(self)
 
     def add_client(self, link: ClientLink) -> int:
@@ -162,6 +168,39 @@ class InclusiveL2Cache:
         self._admit_ingress(cycle)
         self._drain_list_buffer(cycle)
         self._step_mshrs(cycle)
+        if self.obs is not None:
+            self._obs_poll(cycle)
+
+    def _obs_poll(self, cycle: int) -> None:
+        """Diff MSHR slots against last tick, translating changes to spans."""
+        if len(self._obs_slots) < len(self.mshrs):
+            self._obs_slots.extend(
+                [None] * (len(self.mshrs) - len(self._obs_slots))
+            )
+        for idx, mshr in enumerate(self.mshrs):
+            tracked = self._obs_slots[idx]
+            if tracked is not None and (mshr is not tracked[0]):
+                self.obs.close_span(cycle, tracked[1])
+                self._obs_slots[idx] = tracked = None
+            if mshr is None:
+                continue
+            if tracked is None:
+                key = f"mshr:l2:{self._obs_seq}"
+                self._obs_seq += 1
+                self.obs.open_span(
+                    cycle,
+                    key,
+                    "l2_mshr",
+                    name=f"l2.{mshr.kind.value}",
+                    track="l2.mshrs",
+                    state=mshr.state.value,
+                    address=mshr.address,
+                    client=mshr.client,
+                )
+                self._obs_slots[idx] = (mshr, key, mshr.state)
+            elif mshr.state is not tracked[2]:
+                self.obs.transition(cycle, tracked[1], mshr.state.value)
+                self._obs_slots[idx] = (mshr, tracked[1], mshr.state)
 
     # --------------------------------------------------------- channel I/O
     def _drain_clients(self, cycle: int) -> None:

@@ -31,6 +31,9 @@ class ProbeUnit:
         self._arrival_cycle = -1
         self.probes_handled = 0
         self.probes_stalled_cycles = 0
+        self.obs = None  # observability bus; attached via repro.obs.attach
+        self._obs_seq = 0
+        self._obs_key: Optional[str] = None
 
     @property
     def probe_rdy(self) -> bool:
@@ -44,6 +47,19 @@ class ProbeUnit:
                 return
             self._current = probe
             self._arrival_cycle = cycle
+            if self.obs is not None:
+                self._obs_key = f"probe:l1{self.l1.agent_id}:{self._obs_seq}"
+                self._obs_seq += 1
+                self.obs.open_span(
+                    cycle,
+                    self._obs_key,
+                    "probe",
+                    name=f"probe.{probe.cap.name}",
+                    track=f"core{self.l1.agent_id}.probe_unit",
+                    state="pending",
+                    address=probe.address,
+                    cap=probe.cap.name,
+                )
             # §5.4.1: invalidate conflicting flush-queue entries before
             # anything else can dequeue them.
             self.l1.flush_unit.probe_invalidate(probe.address, probe.cap)
@@ -60,6 +76,9 @@ class ProbeUnit:
             self.probes_stalled_cycles += 1
             return
         self._handle(self._current, cycle)
+        if self.obs is not None and self._obs_key is not None:
+            self.obs.close_span(cycle, self._obs_key)
+            self._obs_key = None
         self._current = None
 
     def _handle(self, probe: Probe, cycle: int) -> None:

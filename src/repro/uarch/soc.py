@@ -52,6 +52,86 @@ class Soc:
             core = Core(self.engine, core_id, l1, params)
             self.l1s.append(l1)
             self.cores.append(core)
+        # Deadlock diagnostics are always on: the provider reads live
+        # component state only when the watchdog actually fires, so it
+        # costs nothing per cycle and needs no observability bus.
+        self.engine.add_diagnostics("soc", self._diagnostics)
+
+    def _diagnostics(self) -> Dict[str, object]:
+        """Structured dump of everything in flight (deadlock reports)."""
+        report: Dict[str, object] = {}
+        for i, (core, l1) in enumerate(zip(self.cores, self.l1s)):
+            fu = l1.flush_unit
+            report[f"core{i}"] = {
+                "program_head": core.head,
+                "program_len": len(core.slots),
+                "flush_queue": {
+                    "occupancy": len(fu.queue),
+                    "depth": fu.queue.depth,
+                    "entries": [
+                        {
+                            "address": hex(e.address),
+                            "kind": e.kind.value,
+                            "hit": e.is_hit,
+                            "dirty": e.is_dirty,
+                        }
+                        for e in fu.queue.entries
+                    ],
+                },
+                "flush_counter": fu.flush_counter,
+                "fshrs": [
+                    {
+                        "index": f.index,
+                        "state": f.state.value,
+                        "address": hex(f.address) if f.address is not None else None,
+                    }
+                    for f in fu.fshrs
+                    if f.busy
+                ],
+                "mshrs": [
+                    {
+                        "index": m.index,
+                        "state": m.state.value,
+                        "address": hex(m.address) if m.busy else None,
+                    }
+                    for m in l1.mshrs
+                    if m.busy
+                ],
+                "wbu_busy_address": (
+                    hex(l1.wbu.busy_address)
+                    if l1.wbu.busy_address is not None
+                    else None
+                ),
+                "probe_busy": not l1.probe_unit.probe_rdy,
+                "channels": {
+                    name: len(chan)
+                    for name, chan in (
+                        ("a", l1.chan_a),
+                        ("b", l1.chan_b),
+                        ("c", l1.chan_c),
+                        ("d", l1.chan_d),
+                        ("e", l1.chan_e),
+                    )
+                    if chan is not None
+                },
+            }
+        report["l2"] = {
+            "mshrs": [
+                {
+                    "kind": m.kind.value,
+                    "state": m.state.value,
+                    "address": hex(m.address),
+                    "client": m.client,
+                    "awaiting_acks": sorted(m.awaiting_acks),
+                }
+                for m in self.l2.mshrs
+                if m is not None
+            ],
+            "list_buffer_occupancy": len(self.l2.list_buffer),
+            "ingress_occupancy": len(self.l2._ingress),
+        }
+        report["dram_busy"] = self.dram.busy
+        return report
 
     # ------------------------------------------------------------- running
     def run_programs(

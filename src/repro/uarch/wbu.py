@@ -22,6 +22,8 @@ class WritebackUnit:
         self.l1 = l1
         self._pending_address: Optional[int] = None
         self.evictions = 0
+        self.obs = None  # observability bus; attached via repro.obs.attach
+        self._obs_seq = 0
 
     @property
     def wb_rdy(self) -> bool:
@@ -51,6 +53,18 @@ class WritebackUnit:
         entry.invalidate()
         self._pending_address = address
         self.evictions += 1
+        if self.obs is not None:
+            self.obs.open_span(
+                cycle,
+                f"wbu:l1{self.l1.agent_id}:{address:#x}",
+                "eviction",
+                name="eviction",
+                track=f"core{self.l1.agent_id}.wbu",
+                state="release",
+                address=address,
+                shrink=shrink.name,
+                dirty=data is not None,
+            )
         self.l1.send_channel_c(
             Release(
                 source=self.l1.agent_id, address=address, shrink=shrink, data=data
@@ -66,4 +80,8 @@ class WritebackUnit:
                 f"{self._pending_address!r}"
             )
         self._pending_address = None
+        if self.obs is not None:
+            self.obs.close_span(
+                self.l1.engine.cycle, f"wbu:l1{self.l1.agent_id}:{address:#x}"
+            )
         self.l1.engine.note_progress()

@@ -13,9 +13,10 @@ why FliT's auxiliary metadata hurts there (Figure 16).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.attach import timing_registry
 from repro.persist.api import PMemView
 from repro.persist.flushopt import make_optimizer
 from repro.persist.policies import make_policy
@@ -52,6 +53,8 @@ class DataStructureResult:
     flush_requests: int
     cbo_issued: int
     cbo_skipped: int
+    #: hierarchical metrics snapshot (``timing.*``) taken at run end
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 class DataStructureBenchmark:
@@ -144,6 +147,13 @@ class DataStructureBenchmark:
         scheduler = VirtualTimeScheduler(system)
         result = scheduler.run(steps, duration=duration, warmup=warmup_ops)
         stats = system.stats.as_dict()
+        registry = timing_registry(system)
+        for tid, view in enumerate(views):
+            registry.register_gauge(
+                f"timing.threads.t{tid}.flush_requests",
+                lambda v=view: v.flush_requests,
+            )
+        snapshot = registry.snapshot()
         return DataStructureResult(
             structure=self.structure_name,
             policy=self.policy_name,
@@ -156,6 +166,7 @@ class DataStructureBenchmark:
             flush_requests=sum(v.flush_requests for v in views),
             cbo_issued=stats.get("cbo_issued", 0),
             cbo_skipped=stats.get("cbo_skipped", 0),
+            metrics=snapshot,
         )
 
     def _make_step(self, structure, view: PMemView, update_frac: float, seed: int):

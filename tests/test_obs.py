@@ -1,0 +1,269 @@
+"""Unit tests for the observability layer: bus, spans, registry, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventBus, Span
+from repro.obs.export import (
+    chrome_trace,
+    hottest_lines,
+    read_jsonl,
+    summarize,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.stats import Histogram, StatCounter
+
+
+class TestEventBus:
+    def test_emit_and_buffer(self):
+        bus = EventBus()
+        bus.emit(5, "cbo", "skipped", track="core0", address=0x40)
+        assert len(bus.events) == 1
+        event = bus.events[0]
+        assert event.cycle == 5
+        assert event.args["address"] == 0x40
+        assert "skipped" in str(event)
+
+    def test_max_events_bound(self):
+        bus = EventBus(max_events=4)
+        for i in range(10):
+            bus.emit(i, "x", "e")
+        assert len(bus.events) == 4
+        assert bus.events[0].cycle == 6  # oldest six dropped
+
+    def test_subscribers_receive_even_without_recording(self):
+        bus = EventBus(record_events=False)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(1, "x", "e")
+        assert len(bus.events) == 0
+        assert len(seen) == 1
+        bus.unsubscribe(seen.append)
+        bus.emit(2, "x", "e")
+        assert len(seen) == 1
+
+    def test_span_lifecycle_and_state_durations(self):
+        bus = EventBus()
+        bus.open_span(10, "k", "cbo", name="cbo.clean", state="queued")
+        bus.transition(13, "k", "meta_write")
+        bus.transition(14, "k", "root_release")
+        span = bus.close_span(20, "k")
+        assert span.closed and span.duration == 10
+        durations = span.state_durations()
+        assert durations == {"queued": 3, "meta_write": 1, "root_release": 6}
+        assert sum(durations.values()) == span.duration
+        # begin/transition/end instants were emitted alongside
+        names = [e.name for e in bus.events]
+        assert names == [
+            "cbo.clean:begin",
+            "cbo.clean:meta_write",
+            "cbo.clean:root_release",
+            "cbo.clean:end",
+        ]
+
+    def test_span_latency_histograms(self):
+        bus = EventBus()
+        for start in (0, 100):
+            bus.open_span(start, f"k{start}", "cbo", name="c", state="queued")
+            bus.transition(start + 2, f"k{start}", "work")
+            bus.close_span(start + 10, f"k{start}")
+        summary = bus.latency_summary()
+        assert summary["cbo"]["queued"]["count"] == 2
+        assert summary["cbo"]["queued"]["mean"] == 2
+        assert summary["cbo"]["total"]["mean"] == 10
+
+    def test_bus_is_forgiving(self):
+        bus = EventBus()
+        bus.transition(1, "missing", "x")
+        bus.annotate("missing", a=1)
+        assert bus.close_span(2, "missing") is None
+        bus.open_span(3, "dup", "c", name="n")
+        bus.open_span(4, "dup", "c", name="n")  # re-open of a live key
+        assert bus.dropped == 4
+
+    def test_annotate_merges_args(self):
+        bus = EventBus()
+        bus.open_span(0, "k", "cbo", name="n", address=0x40)
+        bus.annotate("k", probe_downgraded="toN")
+        span = bus.close_span(5, "k")
+        assert span.args["address"] == 0x40
+        assert span.args["probe_downgraded"] == "toN"
+
+    def test_last_events_for_deadlock_tail(self):
+        bus = EventBus()
+        for i in range(50):
+            bus.emit(i, "x", f"e{i}")
+        tail = bus.last_events(8)
+        assert len(tail) == 8
+        assert tail[-1]["name"] == "e49"
+        assert all(isinstance(record, dict) for record in tail)
+
+    def test_clear(self):
+        bus = EventBus()
+        bus.open_span(0, "k", "c", name="n")
+        bus.emit(1, "x", "e")
+        bus.close_span(2, "k")
+        bus.clear()
+        assert not bus.events and not bus.spans and not bus.open_spans
+
+
+class TestMetricsRegistry:
+    def test_adopts_existing_counter(self):
+        registry = MetricsRegistry()
+        stats = StatCounter()
+        stats.inc("hits", 3)
+        registry.register_counter("soc.core0.l1", stats)
+        snapshot = registry.snapshot()
+        assert snapshot["soc"]["core0"]["l1"]["hits"] == 3
+
+    def test_duplicate_path_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("a.b", lambda: 1)
+        with pytest.raises(ValueError):
+            registry.register_counter("a.b", StatCounter())
+
+    def test_gauges_sampled_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        box = {"v": 1}
+        registry.register_gauge("g", lambda: box["v"])
+        assert registry.snapshot()["g"] == 1
+        box["v"] = 7
+        assert registry.snapshot()["g"] == 7
+
+    def test_provider_contributes_subtree(self):
+        registry = MetricsRegistry()
+        registry.register_provider("obs.latency", lambda: {"cbo": {"total": 5}})
+        assert registry.snapshot()["obs"]["latency"]["cbo"]["total"] == 5
+
+    def test_histogram_summary_in_snapshot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        hist.extend([1, 2, 3])
+        node = registry.snapshot()["lat"]
+        assert node["count"] == 3 and node["median"] == 2
+
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc("x")
+        registry.counter("c").inc("x")
+        assert registry.snapshot()["c"]["x"] == 2
+
+    def test_snapshot_merges_sibling_paths(self):
+        registry = MetricsRegistry()
+        stats = StatCounter()
+        stats.inc("enqueued")
+        registry.register_counter("fu", stats)
+        registry.register_gauge("fu.queue_occupancy", lambda: 4)
+        node = registry.snapshot()["fu"]
+        assert node["enqueued"] == 1 and node["queue_occupancy"] == 4
+
+    def test_flat_and_json(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("a.b.c", lambda: 2)
+        assert registry.flat() == {"a.b.c": 2}
+        assert json.loads(registry.to_json()) == {"a": {"b": {"c": 2}}}
+
+    def test_unregister_prefix(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("a.b", lambda: 1)
+        registry.register_gauge("a.bc", lambda: 2)
+        registry.register_gauge("a.b.c", lambda: 3)
+        assert registry.unregister_prefix("a.b") == 2
+        assert registry.paths() == ["a.bc"]
+
+
+class TestHistogramSummary:
+    def test_empty_summary_is_zeros_not_error(self):
+        summary = Histogram().summary()
+        assert summary == {
+            "count": 0,
+            "mean": 0.0,
+            "median": 0.0,
+            "stdev": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_populated_summary(self):
+        hist = Histogram()
+        hist.extend(range(1, 101))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["p99"] >= summary["p90"] >= summary["p50"]
+
+
+def _sample_bus():
+    bus = EventBus()
+    bus.emit(1, "tilelink", "Acquire", track="l10.a", address=0x40, source=0)
+    bus.open_span(2, "cbo:0", "cbo", name="cbo.clean", track="core0", address=0x40)
+    bus.transition(5, "cbo:0", "meta_write")
+    bus.close_span(9, "cbo:0")
+    bus.open_span(4, "cbo:1", "cbo", name="cbo.flush", track="core0", address=0x80)
+    return bus
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        bus = _sample_bus()
+        path = str(tmp_path / "trace.jsonl")
+        written = write_jsonl(path, bus)
+        events, spans = read_jsonl(path)
+        assert written == len(events) + len(spans)
+        assert spans[0]["key"] == "cbo:0"
+        assert spans[0]["states"] == [["open", 2, 5], ["meta_write", 5, 9]]
+
+    def test_chrome_trace_validates(self, tmp_path):
+        bus = _sample_bus()
+        trace = chrome_trace(bus.events, bus.spans)
+        assert validate_chrome_trace(trace) == []
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, bus.events, bus.spans)
+        with open(path) as handle:
+            assert len(json.load(handle)["traceEvents"]) == count
+
+    def test_chrome_trace_round_trip_from_jsonl(self, tmp_path):
+        bus = _sample_bus()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(path, bus)
+        events, spans = read_jsonl(path)
+        direct = chrome_trace(bus.events, bus.spans)
+        rehydrated = chrome_trace(events, spans)
+        assert direct == rehydrated
+
+    def test_chrome_trace_span_slices(self):
+        bus = _sample_bus()
+        trace = chrome_trace((), bus.spans)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        top = [s for s in slices if s["name"] == "cbo.clean"]
+        assert len(top) == 1 and top[0]["dur"] == 7
+        # per-state slices sum to the span's total duration
+        states = [s for s in slices if s["name"].startswith("cbo.clean.")]
+        assert sum(s["dur"] for s in states) == top[0]["dur"]
+        # the still-open span is excluded
+        assert not any(s["name"] == "cbo.flush" for s in slices)
+
+    def test_validator_flags_bad_entries(self):
+        bad = {"traceEvents": [{"ph": "Q", "ts": 1.5}]}
+        problems = validate_chrome_trace(bad)
+        assert any("missing" in p for p in problems)
+        assert any("phase" in p for p in problems)
+
+    def test_summarize(self):
+        bus = _sample_bus()
+        result = summarize(bus.events, bus.spans)
+        assert result["spans"] == 1  # only the closed one
+        assert result["span_stats"]["cbo"]["total_cycles"] == 7
+        assert result["event_counts"]["tilelink:Acquire"] == 1
+
+    def test_hottest_lines(self):
+        bus = _sample_bus()
+        rows = hottest_lines(bus.events, bus.spans, top=5)
+        assert rows[0]["address"] in (0x40, 0x80)
+        by_addr = {r["address"]: r for r in rows}
+        assert by_addr[0x40]["messages"] == 1
+        assert by_addr[0x40]["span_cycles"] == 7
