@@ -27,7 +27,14 @@ FIGURES = {
     16: run_fig16,
 }
 
+#: figures by declared row type — the CLI/report dispatch on these sets
+#: rather than sniffing the first row, which misfires on empty row lists
+MICRO_FIGURES = frozenset({9, 10, 11, 12, 13})
+THROUGHPUT_FIGURES = frozenset({14, 15, 16})
+
 __all__ = [
+    "MICRO_FIGURES",
+    "THROUGHPUT_FIGURES",
     "run_fig09",
     "run_fig10",
     "run_fig11",

@@ -1,0 +1,138 @@
+"""Machine-readable benchmark baselines: ``--json`` snapshots, ``--check``.
+
+``python -m repro.bench --json BENCH_quick.json`` serialises every row of
+the selected figures (plus the runs' registry-metric snapshots and
+wall-clock) to a versioned JSON document.  A committed snapshot then acts
+as a regression baseline: ``--check PATH`` re-keys the current rows
+against it and fails on missing/extra rows or numeric drift beyond a
+relative tolerance band.  The simulations are deterministic (pure Python,
+fixed seeds), so on unchanged code ``--check`` passes exactly; the
+tolerance only absorbs deliberate small parameter adjustments.
+
+Wall-clock fields are recorded for the record but never compared.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Mapping, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+#: numeric row fields compared against the baseline, per row kind
+MICRO_VALUE_FIELDS = ("median_cycles", "stdev_cycles")
+THROUGHPUT_VALUE_FIELDS = (
+    "throughput_mops",
+    "flush_requests",
+    "cbo_issued",
+    "cbo_skipped",
+)
+#: default relative tolerance band for --check
+DEFAULT_REL_TOL = 0.02
+
+
+def _row_key(row: Mapping[str, object]) -> str:
+    """Stable identity of a row within its figure (kind-aware)."""
+    if "series" in row:  # MicroRow
+        return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
+    return (
+        f"{row['structure']}|{row['policy']}|{row['optimizer']}"
+        f"|upd={row['update_percent']}"
+    )
+
+
+def snapshot(
+    runs: Mapping[int, "FigureRun"],  # noqa: F821 - repro.bench.runner.FigureRun
+    quick: bool,
+    jobs: int,
+) -> Dict[str, object]:
+    """Serialise figure runs into the baseline document structure."""
+    figures: Dict[str, object] = {}
+    for figure, run in sorted(runs.items()):
+        figures[str(figure)] = {
+            "points": run.points,
+            "elapsed_seconds": round(run.elapsed, 3),
+            "rows": [asdict(row) for row in run.rows],
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "skipit-bench",
+        "quick": quick,
+        "jobs": jobs,
+        "figures": figures,
+    }
+
+
+def write(path: str, document: Mapping[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _close(current: object, expected: object, rel_tol: float) -> bool:
+    if current is None or expected is None:
+        return current is None and expected is None
+    a, b = float(current), float(expected)
+    return abs(a - b) <= rel_tol * max(abs(a), abs(b)) + 1e-9
+
+
+def check(
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    rel_tol: float = DEFAULT_REL_TOL,
+    figures: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Compare *current* against *baseline*; return mismatch descriptions.
+
+    Only figures present in both documents (and in *figures*, when given)
+    are compared, so a partial run (``--fig 12 --check full.json``) checks
+    just its own slice.  An empty return value means the check passed.
+    """
+    problems: List[str] = []
+    if baseline.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+        return problems
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        problems.append(
+            f"mode mismatch: baseline quick={baseline.get('quick')}, "
+            f"current quick={current.get('quick')}"
+        )
+        return problems
+    current_figs = current.get("figures", {})
+    baseline_figs = baseline.get("figures", {})
+    shared = sorted(set(current_figs) & set(baseline_figs), key=int)
+    if figures is not None:
+        wanted = {str(f) for f in figures}
+        shared = [f for f in shared if f in wanted]
+    if not shared:
+        problems.append("no common figures between current run and baseline")
+        return problems
+    for fig in shared:
+        cur_rows = {_row_key(r): r for r in current_figs[fig]["rows"]}
+        base_rows = {_row_key(r): r for r in baseline_figs[fig]["rows"]}
+        for key in sorted(set(base_rows) - set(cur_rows)):
+            problems.append(f"fig {fig}: row missing from current run: {key}")
+        for key in sorted(set(cur_rows) - set(base_rows)):
+            problems.append(f"fig {fig}: row not in baseline: {key}")
+        for key in sorted(set(cur_rows) & set(base_rows)):
+            cur, base = cur_rows[key], base_rows[key]
+            fields = (
+                MICRO_VALUE_FIELDS if "series" in cur else THROUGHPUT_VALUE_FIELDS
+            )
+            for name in fields:
+                if not _close(cur.get(name), base.get(name), rel_tol):
+                    problems.append(
+                        f"fig {fig}: {key}: {name} drifted: "
+                        f"current {cur.get(name)!r} vs baseline "
+                        f"{base.get(name)!r} (rel_tol={rel_tol})"
+                    )
+    return problems

@@ -2,17 +2,20 @@
 
 Prints the rows/series of the requested evaluation figure in a
 paper-style text table.  ``--quick`` shrinks sweeps for a fast sanity
-pass; the defaults regenerate the full-size figure.
+pass; the defaults regenerate the full-size figure.  ``--jobs N`` fans
+the independent sweep points over a process pool (results are identical
+to a serial run); ``--json`` / ``--check`` write and verify
+machine-readable baselines (see :mod:`repro.bench.baseline`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
-from typing import List
+from typing import List, Optional
 
-from repro.bench import FIGURES
+from repro.bench import FIGURES, MICRO_FIGURES, baseline
 from repro.bench.format import format_table, human_size
 from repro.bench.micro import MicroRow
 from repro.bench.structures import ThroughputRow
@@ -66,7 +69,7 @@ def _print_throughput(rows: List[ThroughputRow]) -> None:
     )
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skipit-bench",
         description="Regenerate the evaluation figures of 'Skip It: Take "
@@ -83,30 +86,82 @@ def main(argv: List[str] = None) -> int:
         "--quick", action="store_true", help="reduced sweeps for a fast pass"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep points over N worker processes (0 = all cores); "
+        "results are identical to a serial run",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the rows/metrics of the selected figures to PATH "
+        "as a machine-readable baseline",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare the run against the committed baseline at PATH; "
+        "exit non-zero on drift",
+    )
+    parser.add_argument(
+        "--check-tol",
+        type=float,
+        default=None,
+        metavar="REL",
+        help=f"relative tolerance band for --check "
+        f"(default: {baseline.DEFAULT_REL_TOL})",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         help="write a Markdown report of the selected figures to PATH",
     )
     args = parser.parse_args(argv)
-    figures = args.fig or sorted(FIGURES)
+    figures = sorted(set(args.fig)) if args.fig else sorted(FIGURES)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     if args.report:
         from repro.bench.report import build_report
 
-        text = build_report(figures, quick=args.quick)
+        text = build_report(figures, quick=args.quick, jobs=jobs)
         with open(args.report, "w") as handle:
             handle.write(text)
         print(f"report written to {args.report}")
         return 0
+
+    from repro.bench.runner import run_figures
+
+    runs = run_figures(figures, quick=args.quick, jobs=jobs, progress=print)
     for fig in figures:
-        started = time.time()
+        run = runs[fig]
         print(f"\n=== Figure {fig} ===")
-        rows = FIGURES[fig](quick=args.quick)
-        if rows and isinstance(rows[0], MicroRow):
-            _print_micro(rows)
+        if fig in MICRO_FIGURES:
+            _print_micro(run.rows)
         else:
-            _print_throughput(rows)
-        print(f"[figure {fig}: {time.time() - started:.1f}s]")
-    return 0
+            _print_throughput(run.rows)
+        print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")
+
+    status = 0
+    document = baseline.snapshot(runs, quick=args.quick, jobs=jobs)
+    if args.json:
+        baseline.write(args.json, document)
+        print(f"\nbaseline written to {args.json}")
+    if args.check:
+        rel_tol = (
+            args.check_tol if args.check_tol is not None else baseline.DEFAULT_REL_TOL
+        )
+        problems = baseline.check(
+            document, baseline.load(args.check), rel_tol=rel_tol, figures=figures
+        )
+        if problems:
+            print(f"\nBASELINE CHECK FAILED against {args.check}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print(f"\nbaseline check passed against {args.check}")
+    return status
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.bench import FIGURES
+from repro.bench import FIGURES, MICRO_FIGURES
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
 from repro.bench.structures import ThroughputRow
@@ -124,20 +124,28 @@ def _render_metrics_summary(rows: List[ThroughputRow]) -> str:
 
 
 def build_report(
-    figures: Optional[Sequence[int]] = None, quick: bool = True
+    figures: Optional[Sequence[int]] = None, quick: bool = True, jobs: int = 1
 ) -> str:
-    """Run the requested figures and return a Markdown report."""
-    figures = sorted(figures or FIGURES)
+    """Run the requested figures and return a Markdown report.
+
+    Routes through :func:`repro.bench.runner.run_figures` so the numbers
+    match the ``--json`` baselines exactly and *jobs* can parallelise
+    the regeneration.
+    """
+    from repro.bench.runner import run_figures
+
+    figures = sorted(set(figures)) if figures else sorted(FIGURES)
+    runs = run_figures(figures, quick=quick, jobs=jobs)
     sections = [
         "# Measured figure reproductions",
         "",
         f"Mode: {'quick (reduced sweeps)' if quick else 'full size'}.",
     ]
     for fig in figures:
-        rows = FIGURES[fig](quick=quick)
+        rows = runs[fig].rows
         title = _FIGURE_TITLES.get(fig, "")
         sections.append(f"\n## Figure {fig} — {title}\n")
-        if rows and isinstance(rows[0], MicroRow):
+        if fig in MICRO_FIGURES:
             sections.append(_render_micro(rows))
         else:
             sections.append(_render_throughput(rows))

@@ -14,6 +14,31 @@ ALL_STRUCTURES = tuple(STRUCTURES)
 ALL_POLICIES = ("automatic", "nvtraverse", "manual")
 
 
+def sweep_axes(figure: int, quick: bool) -> Dict[str, list]:
+    """Default sweep axes of a throughput figure.
+
+    Single source of truth shared by the ``run_figNN`` defaults and the
+    parallel runner's point decomposition (:mod:`repro.bench.runner`).
+    """
+    if figure == 14:
+        return {
+            "structures": ["list", "hashtable"] if quick else list(ALL_STRUCTURES),
+            "policies": ["automatic"] if quick else list(ALL_POLICIES),
+            "optimizers": list(OPTIMIZER_NAMES),
+        }
+    if figure == 15:
+        return {
+            "structures": ["list"] if quick else list(ALL_STRUCTURES),
+            "optimizers": list(OPTIMIZER_NAMES),
+            "update_percents": [0, 50] if quick else [0, 5, 20, 50, 100],
+        }
+    if figure == 16:
+        return {
+            "table_sizes": [256, 4096] if quick else [256, 1024, 4096, 16_384, 65_536],
+        }
+    raise KeyError(f"figure {figure} is not a throughput figure")
+
+
 @dataclass
 class ThroughputRow:
     """One cell of a Figure 14/15/16 grid."""
@@ -41,7 +66,9 @@ def _run_cell(
     duration: int,
     key_range: Optional[int] = None,
     flit_table_entries: int = 1024,
+    seed: Optional[int] = None,
 ) -> ThroughputRow:
+    extra = {} if seed is None else {"seed": seed}
     bench = DataStructureBenchmark(
         structure=structure,
         policy=policy,
@@ -50,6 +77,7 @@ def _run_cell(
         threads=threads,
         key_range=key_range,
         flit_table_entries=flit_table_entries,
+        **extra,
     )
     if not bench.applicable:
         return ThroughputRow(
@@ -78,23 +106,35 @@ def run_fig14(
     update_percent: int = 5,
     threads: int = 2,
     duration: Optional[int] = None,
+    include_baseline: bool = True,
+    seed: Optional[int] = None,
 ) -> List[ThroughputRow]:
     """Figure 14: throughput grid at 5% updates, 2 threads.
 
     Also emits the non-persistent baseline (policy='none') the paper draws
-    as the dark dotted line.
+    as the dark dotted line (*include_baseline*; pass ``policies=[]`` with
+    it to get the baseline rows alone).
     """
-    structures = list(structures or (("list", "hashtable") if quick else ALL_STRUCTURES))
-    policies = list(policies or (("automatic",) if quick else ALL_POLICIES))
-    optimizers = list(optimizers or OPTIMIZER_NAMES)
+    axes = sweep_axes(14, quick)
+    structures = list(structures) if structures is not None else axes["structures"]
+    policies = list(policies) if policies is not None else axes["policies"]
+    optimizers = list(optimizers) if optimizers is not None else axes["optimizers"]
     duration = duration or (60_000 if quick else 300_000)
     rows: List[ThroughputRow] = []
     for structure in structures:
-        rows.append(
-            _run_cell(
-                14, structure, "none", "plain", update_percent, threads, duration
+        if include_baseline:
+            rows.append(
+                _run_cell(
+                    14,
+                    structure,
+                    "none",
+                    "plain",
+                    update_percent,
+                    threads,
+                    duration,
+                    seed=seed,
+                )
             )
-        )
         for policy in policies:
             for optimizer in optimizers:
                 rows.append(
@@ -106,6 +146,7 @@ def run_fig14(
                         update_percent,
                         threads,
                         duration,
+                        seed=seed,
                     )
                 )
     return rows
@@ -119,18 +160,33 @@ def run_fig15(
     policy: str = "automatic",
     threads: int = 2,
     duration: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> List[ThroughputRow]:
     """Figure 15: throughput vs update percentage (automatic persistence)."""
-    structures = list(structures or (("list",) if quick else ALL_STRUCTURES))
-    optimizers = list(optimizers or OPTIMIZER_NAMES)
-    update_percents = list(update_percents or ((0, 50) if quick else (0, 5, 20, 50, 100)))
+    axes = sweep_axes(15, quick)
+    structures = list(structures) if structures is not None else axes["structures"]
+    optimizers = list(optimizers) if optimizers is not None else axes["optimizers"]
+    update_percents = (
+        list(update_percents)
+        if update_percents is not None
+        else axes["update_percents"]
+    )
     duration = duration or (60_000 if quick else 250_000)
     rows: List[ThroughputRow] = []
     for structure in structures:
         for optimizer in optimizers:
             for update in update_percents:
                 rows.append(
-                    _run_cell(15, structure, policy, optimizer, update, threads, duration)
+                    _run_cell(
+                        15,
+                        structure,
+                        policy,
+                        optimizer,
+                        update,
+                        threads,
+                        duration,
+                        seed=seed,
+                    )
                 )
     return rows
 
@@ -143,10 +199,14 @@ def run_fig16(
     threads: int = 2,
     duration: Optional[int] = None,
     key_range: int = 10_000,
+    include_reference: bool = True,
+    seed: Optional[int] = None,
 ) -> List[ThroughputRow]:
     """Figure 16: BST (10k keys) sensitivity to the FliT hash-table size."""
-    table_sizes = list(
-        table_sizes or ((256, 4096) if quick else (256, 1024, 4096, 16_384, 65_536))
+    table_sizes = (
+        list(table_sizes)
+        if table_sizes is not None
+        else sweep_axes(16, quick)["table_sizes"]
     )
     duration = duration or (60_000 if quick else 250_000)
     rows: List[ThroughputRow] = []
@@ -161,16 +221,18 @@ def run_fig16(
             duration,
             key_range=key_range,
             flit_table_entries=entries,
+            seed=seed,
         )
         row.optimizer = f"flit-hashtable({entries})"
         rows.append(row)
-    # Skip It reference line: unaffected by any table size
-    rows.append(
-        _run_cell(
-            16, "bst", policy, "skipit", update_percent, threads, duration,
-            key_range=key_range,
+    if include_reference:
+        # Skip It reference line: unaffected by any table size
+        rows.append(
+            _run_cell(
+                16, "bst", policy, "skipit", update_percent, threads, duration,
+                key_range=key_range, seed=seed,
+            )
         )
-    )
     return rows
 
 

@@ -285,6 +285,24 @@ class FlushUnit:
         self._step_fshrs(cycle)
         self._try_dequeue(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle the flush unit could act (fast-forward hook).
+
+        An FSHR advances its FSM every tick until it awaits its ack; a
+        queued request dequeues as soon as the §5.4 gates are open.  An
+        ack-awaiting FSHR wakes only via channel D, which the L1 reports.
+        """
+        if any(f.busy and not f.awaiting_ack for f in self.fshrs):
+            return cycle + 1
+        if (
+            not self.queue.empty
+            and self.l1.probe_unit.probe_rdy
+            and self.l1.wbu.wb_rdy
+            and any(not f.busy for f in self.fshrs)
+        ):
+            return cycle + 1
+        return None
+
     def _try_dequeue(self, cycle: int) -> None:
         """Allocate a free FSHR for the queue head when the way is clear.
 

@@ -9,7 +9,7 @@ DRAM access; the data payloads still pay beat costs on the channels.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.mem.memory import MainMemory
 from repro.sim.engine import Engine
@@ -74,6 +74,22 @@ class DramModel:
             )
         else:  # pragma: no cover - defensive
             raise TypeError(f"DRAM cannot serve {type(request).__name__}")
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle DRAM could act (fast-forward hook).
+
+        Inbound channel deliveries and due responses; the outbound D
+        channel is the L2's event, reported there.
+        """
+        best: Optional[int] = None
+        for channel in (self.chan_a, self.chan_c):
+            nxt = channel.next_event_cycle(cycle)
+            if nxt is not None and (best is None or nxt < best):
+                best = nxt
+        for ready, _ in self._pending:
+            if best is None or ready < best:
+                best = ready
+        return best
 
     @property
     def busy(self) -> bool:

@@ -74,6 +74,17 @@ class BeatChannel(Generic[M]):
             ready.append(self._in_flight.popleft()[1])
         return ready
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle a message becomes deliverable, or None when idle.
+
+        Feeds the engine's event-horizon fast-forward: in-flight messages
+        are FIFO with monotonically non-decreasing ``deliver_at``, so the
+        head's delivery cycle is the channel's next event.
+        """
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0]
+
     @property
     def idle(self) -> bool:
         return not self._in_flight

@@ -373,8 +373,19 @@ class TimingSystem:
             else:
                 self.stats.inc("cbo_l2_clean")
         else:
-            # persisted already: the LLC trivially skips the DRAM write
-            self.stats.inc("cbo_l2_clean")
+            # Not dirty anywhere the L2 can see — but the victim L3 may
+            # hold the only dirty copy (the line lives in at most one of
+            # L2/L3, so ``rec is None`` does not mean "persisted").
+            l3rec = self.l3.get(line) if self.l3 is not None else None
+            if l3rec is not None and l3rec.dirty:
+                self.persisted.update(l3rec.values)
+                l3rec.dirty = False
+                latency = self.params.cbo_dram_writeback + l3_extra
+                self.stats.inc("cbo_dram")
+                self.stats.inc("cbo_l3_dirty_writebacks")
+            else:
+                # persisted already: the LLC trivially skips the DRAM write
+                self.stats.inc("cbo_l2_clean")
         if invalidate:
             if rec is not None:
                 self._revoke_sharers(line, rec, keep=None)

@@ -82,6 +82,7 @@ class _Slot:
     done_at: Optional[int] = None  # for fixed-latency completions
     req_id: Optional[int] = None
     value: Optional[int] = None  # load result
+    wait_noted: bool = False  # fence: blocked-commit already counted
 
 
 class Core:
@@ -133,6 +134,54 @@ class Core:
         self._fire_window(cycle)
         self._commit(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle this core could act (fast-forward hook).
+
+        Internal timed events — fixed-latency completions and nack
+        retries — are reported directly.  A slot that is waiting on other
+        instructions (or a fence waiting on the flush unit / MSHRs / WBU)
+        is unblocked only by those events or by L1 responses, which are
+        other components' events; it contributes nothing here.
+        """
+        if self.done:
+            return None
+        best: Optional[int] = None
+        # Single pass mirroring _eligible: track the blocking state older
+        # slots impose on younger ones instead of rescanning per slot.
+        all_older_done = True
+        older_fence = False
+        older_stq_lines = set()
+        line_of = self.params.l1.line_address
+        for slot in self.slots[self.head : self.head + self.rob_entries]:
+            if slot.status is _Status.FIRED:
+                if slot.done_at is not None:
+                    when = max(cycle + 1, slot.done_at)
+                    if best is None or when < best:
+                        best = when
+            elif slot.status is _Status.WAITING:
+                op = slot.instr.op
+                if slot.retry_at > cycle + 1:
+                    if best is None or slot.retry_at < best:
+                        best = slot.retry_at
+                elif op is MemOp.FENCE:
+                    if all_older_done and self._fence_blocker() is None:
+                        return cycle + 1
+                elif op is MemOp.LOAD:
+                    if not older_fence and (
+                        line_of(slot.instr.address) not in older_stq_lines
+                    ):
+                        return cycle + 1
+                elif all_older_done:
+                    return cycle + 1
+            if slot.status is not _Status.DONE:
+                all_older_done = False
+                op = slot.instr.op
+                if op is MemOp.FENCE:
+                    older_fence = True
+                elif op.is_stq:
+                    older_stq_lines.add(line_of(slot.instr.address))
+        return best
+
     def _complete_timed(self, cycle: int) -> None:
         for slot in self.slots[self.head : self.head + self.rob_entries]:
             if (
@@ -179,19 +228,40 @@ class Core:
             older.status is _Status.DONE for older in self.slots[self.head : index]
         )
 
+    def _fence_blocker(self) -> Optional[str]:
+        """What keeps a fence from committing right now (§5.3), if anything."""
+        if self.l1.flush_unit.flushing:
+            return "flush"
+        if any(m.busy for m in self.l1.mshrs):
+            return "mshr"
+        if not self.l1.wbu.wb_rdy:
+            return "wbu"
+        return None
+
+    def _fence_ready(self, index: int) -> bool:
+        """Pure form of the fence commit conditions (for the event horizon)."""
+        return (
+            all(
+                older.status is _Status.DONE
+                for older in self.slots[self.head : index]
+            )
+            and self._fence_blocker() is None
+        )
+
     def _try_fence(self, index: int, slot: _Slot, cycle: int) -> None:
         """Fence commit conditions (§5.3): prior ops done, no pending flushes."""
         if not all(
             older.status is _Status.DONE for older in self.slots[self.head : index]
         ):
             return
-        if self.l1.flush_unit.flushing:
-            self.stats.inc("fence_wait_flush")
-            return
-        if any(m.busy for m in self.l1.mshrs):
-            self.stats.inc("fence_wait_mshr")
-            return
-        if not self.l1.wbu.wb_rdy:
+        blocker = self._fence_blocker()
+        if blocker is not None:
+            # Counted once per fence, not once per waiting cycle, so the
+            # stat is identical whether idle cycles are stepped or skipped
+            # by the engine's fast-forward.
+            if not slot.wait_noted:
+                slot.wait_noted = True
+                self.stats.inc(f"fence_wait_{blocker}")
             return
         slot.status = _Status.DONE
         self.stats.inc("fences")

@@ -245,6 +245,29 @@ class L1DataCache:
         self.flush_unit.tick(cycle)
         self._step_mshrs(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle this cache could act (fast-forward hook)."""
+        # An in-flight probe acts (or counts a stalled cycle) every tick.
+        if not self.probe_unit.probe_rdy:
+            return cycle + 1
+        for mshr in self.mshrs:
+            if mshr.state in (MshrState.ACQUIRE, MshrState.REPLAY):
+                return cycle + 1
+            if (
+                mshr.state is MshrState.EVICT_WAIT
+                and self.wbu.wb_rdy
+                and self.flush_unit.flush_rdy
+            ):
+                return cycle + 1
+        best = self.flush_unit.next_event_cycle(cycle)
+        if best == cycle + 1:
+            return best
+        for channel in (self.chan_d, self.chan_b):
+            nxt = channel.next_event_cycle(cycle) if channel is not None else None
+            if nxt is not None and (best is None or nxt < best):
+                best = nxt
+        return best
+
     def _drain_channel_d(self, cycle: int) -> None:
         for message in self.chan_d.drain_ready(cycle):
             if isinstance(message, GrantData):

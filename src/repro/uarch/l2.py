@@ -171,6 +171,37 @@ class InclusiveL2Cache:
         if self.obs is not None:
             self._obs_poll(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle this cache could act (fast-forward hook)."""
+        best: Optional[int] = None
+
+        def consider(nxt: Optional[int]) -> None:
+            nonlocal best
+            if nxt is not None and (best is None or nxt < best):
+                best = nxt
+
+        for mshr in self.mshrs:
+            if mshr is None:
+                continue
+            if mshr.state in (_MshrState.START, _MshrState.DONE):
+                return cycle + 1
+            if (
+                mshr.state in (_MshrState.EVICT_PROBE, _MshrState.PROBE)
+                and not mshr.awaiting_acks
+            ):
+                return cycle + 1
+        if self.list_buffer and any(m is None for m in self.mshrs):
+            # a freed MSHR slot lets a buffered request allocate next tick
+            return cycle + 1
+        for ready, _, _ in self._ingress:
+            consider(ready)
+        for link in self.links:
+            consider(link.a.next_event_cycle(cycle))
+            consider(link.c.next_event_cycle(cycle))
+            consider(link.e.next_event_cycle(cycle))
+        consider(self.dram.chan_d.next_event_cycle(cycle))
+        return best
+
     def _obs_poll(self, cycle: int) -> None:
         """Diff MSHR slots against last tick, translating changes to spans."""
         if len(self._obs_slots) < len(self.mshrs):

@@ -1,0 +1,144 @@
+"""Event-horizon fast-forward: neutrality and exception-type contracts.
+
+Fast-forward must be invisible: a run with it enabled returns the same
+cycle counts, the same statistics, and the same architectural results as
+a stepped run — it only skips cycles that were provably no-ops.  These
+tests run the same multi-core workloads both ways and diff everything.
+They also pin down the exception taxonomy: a ``max_cycles`` expiry is a
+:class:`SimulationTimeout` (a budget problem), the watchdog and the
+"no pending event anywhere" case are :class:`SimulationDeadlock` (a
+model problem), and the former subclasses the latter for compatibility.
+"""
+
+import pytest
+
+from repro.sim.config import SoCParams
+from repro.sim.engine import Engine, SimulationDeadlock, SimulationTimeout
+from repro.uarch.cpu import Instr
+from repro.uarch.soc import Soc
+
+
+def _mixed_programs(threads: int):
+    """Stores, loads, cleans, flushes and fences across disjoint regions."""
+    programs = []
+    for t in range(threads):
+        base = 0x10000 + t * 0x4000
+        prog = []
+        for i in range(6):
+            prog.append(Instr.store(base + i * 64, i + 1))
+        for i in range(0, 6, 2):
+            prog.append(Instr.clean(base + i * 64))
+        for i in range(1, 6, 2):
+            prog.append(Instr.flush(base + i * 64))
+        prog.append(Instr.fence())
+        for i in range(6):
+            prog.append(Instr.load(base + i * 64))
+        programs.append(prog)
+    return programs
+
+
+def _run(fast_forward: bool, threads: int):
+    soc = Soc(SoCParams().with_cores(threads))
+    soc.engine.fast_forward = fast_forward
+    cycles = soc.run_programs(_mixed_programs(threads))
+    soc.drain()
+    stats = soc.stats_summary()
+    for i, core in enumerate(soc.cores):
+        stats[f"core_{i}"] = core.stats.as_dict()
+    loads = [
+        [core.load_result(len(core.slots) - 6 + i) for i in range(6)]
+        for core in soc.cores
+    ]
+    return cycles, stats, loads, soc.engine.cycle
+
+
+class TestFastForwardNeutrality:
+    @pytest.mark.parametrize("threads", (1, 2, 4))
+    def test_cycles_stats_and_values_identical(self, threads):
+        ff = _run(fast_forward=True, threads=threads)
+        stepped = _run(fast_forward=False, threads=threads)
+        assert ff[0] == stepped[0], "cycle counts diverged"
+        assert ff[1] == stepped[1], "stats diverged"
+        assert ff[2] == stepped[2], "load results diverged"
+        assert ff[3] == stepped[3], "final engine cycle diverged"
+
+    def test_fast_forward_skips_idle_stretches(self):
+        """The hooks must actually jump (else the feature is dead code)."""
+        soc = Soc(SoCParams().with_cores(1))
+        observed = []
+        original = Engine.step
+
+        def recording_step(engine, cycles=1):
+            observed.append(engine.cycle)
+            original(engine, cycles)
+
+        Engine.step = recording_step
+        try:
+            soc.run_programs(_mixed_programs(1))
+        finally:
+            Engine.step = original
+        jumps = [b - a for a, b in zip(observed, observed[1:]) if b - a > 1]
+        assert jumps, "no cycle was ever skipped on a DRAM-bound workload"
+
+
+class _IdleComponent:
+    def tick(self, cycle):
+        pass
+
+    def next_event_cycle(self, cycle):
+        return None
+
+
+class _HookLess:
+    def tick(self, cycle):
+        pass
+
+
+class TestExceptionTaxonomy:
+    def test_max_cycles_raises_timeout_subclassing_deadlock(self):
+        engine = Engine()
+        engine.register(_IdleComponent())
+        with pytest.raises(SimulationTimeout) as excinfo:
+            engine.run_until(lambda: False, max_cycles=40, fast_forward=False)
+        assert isinstance(excinfo.value, SimulationDeadlock)
+        assert "40 cycles" in str(excinfo.value)
+        assert "deadlock" not in str(excinfo.value).split("---")[0]
+
+    def test_timeout_fires_on_same_cycle_with_fast_forward(self):
+        stepped = Engine()
+        stepped.register(_IdleComponent())
+        with pytest.raises(SimulationTimeout):
+            stepped.run_until(lambda: False, max_cycles=37, fast_forward=False)
+        jumped = Engine()
+        jumped.register(_IdleComponent())
+        with pytest.raises(SimulationTimeout):
+            jumped.run_until(lambda: False, max_cycles=37, fast_forward=True)
+        assert jumped.cycle == stepped.cycle
+
+    def test_watchdog_fires_on_same_cycle_with_fast_forward(self):
+        def run(fast_forward):
+            engine = Engine(watchdog_interval=50)
+            engine.register(_IdleComponent())
+            with pytest.raises(SimulationDeadlock) as excinfo:
+                engine.run_until(lambda: False, fast_forward=fast_forward)
+            assert not isinstance(excinfo.value, SimulationTimeout)
+            return engine.cycle
+
+        assert run(True) == run(False)
+
+    def test_no_pending_event_is_deadlock_not_timeout(self):
+        engine = Engine(watchdog_interval=0)
+        engine.register(_IdleComponent())
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            engine.run_until(lambda: False)
+        assert not isinstance(excinfo.value, SimulationTimeout)
+        assert "no component reports a pending event" in str(excinfo.value)
+
+    def test_component_without_hook_disables_jumping(self):
+        engine = Engine(watchdog_interval=0)
+        engine.register(_HookLess())
+        # without a horizon the engine must fall back to stepping and the
+        # caller's budget, not claim a spurious deadlock
+        with pytest.raises(SimulationTimeout):
+            engine.run_until(lambda: False, max_cycles=25)
+        assert engine.cycle == 25
