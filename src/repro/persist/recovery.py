@@ -11,11 +11,12 @@ cache state), and diffs the recovered keys against the reference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.persist.api import PMemView
 from repro.persist.structures.base import PersistentSet, persisted_reader
 from repro.timing.system import TimingSystem
+from repro.verify.injector import timing_crash_image
 
 
 @dataclass
@@ -69,8 +70,18 @@ class CrashChecker:
             results.append(ok)
         return results
 
-    def crash_and_check(self) -> CrashReport:
-        """Simulate power loss and decode the surviving image."""
-        persisted = self.system.crash()
+    def crash_and_check(self, at: Optional[int] = None) -> CrashReport:
+        """Simulate power loss and decode the surviving image.
+
+        With *at*, the crash is injected at that point in simulated time
+        instead of now: in-flight writebacks whose completion lies beyond
+        *at* are dropped, exactly as
+        :func:`repro.verify.injector.timing_crash_image` computes crash
+        images for the fault-injection sweep — one code path for both.
+        """
+        if at is None:
+            persisted = self.system.crash()
+        else:
+            persisted = timing_crash_image(self.system, at=at)
         recovered = self.structure.recover_keys(persisted_reader(persisted))
         return CrashReport(reference=set(self.reference), recovered=recovered)

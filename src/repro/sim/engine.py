@@ -121,6 +121,7 @@ class Engine:
         self._hooks_complete = True  # every component has next_event_cycle
         self._last_progress_cycle = 0
         self._diagnostics: List[Tuple[str, Callable[[], Dict[str, object]]]] = []
+        self._cycle_hooks: List[Callable[[int], None]] = []
 
     def register(self, component: Component) -> None:
         """Add *component* to the tick order (registration order is tick order)."""
@@ -136,6 +137,23 @@ class Engine:
     ) -> None:
         """Register a provider contributing a section to deadlock reports."""
         self._diagnostics.append((name, provider))
+
+    def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        """Call *hook(cycle)* after every stepped cycle's ticks.
+
+        Cycle hooks are the crash-point injector's attachment surface
+        (:mod:`repro.verify`): they observe the post-tick state of every
+        component once per simulated cycle.  Registering one disables the
+        engine's event-horizon fast-forward for the rest of the run —
+        skipped cycles would never reach the hook, and an injector's whole
+        point is to see *every* boundary.
+        """
+        self._cycle_hooks.append(hook)
+        self.fast_forward = False
+
+    def remove_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        if hook in self._cycle_hooks:
+            self._cycle_hooks.remove(hook)
 
     def note_progress(self) -> None:
         """Record that some component did useful work this cycle.
@@ -166,6 +184,8 @@ class Engine:
             self.cycle += 1
             for component in self._components:
                 component.tick(self.cycle)
+            for hook in self._cycle_hooks:
+                hook(self.cycle)
             self._check_watchdog()
 
     def next_event_cycle(self) -> Optional[int]:

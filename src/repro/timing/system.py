@@ -58,6 +58,22 @@ class L3Rec:
     values: Dict[int, int] = field(default_factory=dict)
 
 
+@dataclass
+class InFlightWriteback:
+    """One asynchronous DRAM write travelling to the persistence domain.
+
+    A CBO.X snapshots the line's words at issue time (§4) but the bytes
+    only land in DRAM when the writeback completes, ``done`` cycles into
+    the issuing thread's virtual clock.  A crash before ``done`` loses the
+    payload — exactly the window the paper's fence exists to close.
+    """
+
+    tid: int
+    done: int  # completion time on the issuing thread's clock
+    line: int
+    values: Dict[int, int]  # words snapshotted at issue
+
+
 class ThreadCtx:
     """One simulated hardware thread: clock + outstanding writebacks."""
 
@@ -107,6 +123,13 @@ class TimingSystem:
         self.threads = [ThreadCtx(self, tid) for tid in range(p.num_threads)]
         self.stats = StatCounter()
         self.obs = None  # observability bus; attached via repro.obs.attach_timing
+        #: DRAM writes still in flight; a crash drops the unfinished ones
+        self.in_flight: List[InFlightWriteback] = []
+        #: per-line DRAM writeback counts (differential fuzzing oracle)
+        self.wb_lines: Dict[int, int] = {}
+        #: test-only fault injection: names of re-introduced known bugs
+        #: (see :mod:`repro.verify.mutants`); empty in production use
+        self.mutants: Set[str] = set()
 
     # ------------------------------------------------------------- helpers
     def line_of(self, address: int) -> int:
@@ -119,9 +142,74 @@ class TimingSystem:
         return {w: self.arch[w] for w in self._words_of(line) if w in self.arch}
 
     def _persisted_line(self, line: int) -> Dict[int, int]:
+        # a DRAM fetch is ordered after any pending write of the same line
+        # at the memory controller, so settle those first
+        self._settle_line(line)
         return {
             w: self.persisted[w] for w in self._words_of(line) if w in self.persisted
         }
+
+    # ------------------------------------------------- in-flight writebacks
+    def _count_wb(self, line: int) -> None:
+        self.wb_lines[line] = self.wb_lines.get(line, 0) + 1
+
+    def _record_wb(self, ctx: ThreadCtx, line: int, values: Dict[int, int],
+                   done: int) -> None:
+        """Track one asynchronous DRAM write; it lands when settled."""
+        self.in_flight.append(
+            InFlightWriteback(tid=ctx.tid, done=done, line=line, values=dict(values))
+        )
+        self._count_wb(line)
+
+    def _settle_line(self, line: int) -> None:
+        remaining = []
+        for wb in self.in_flight:
+            if wb.line == line:
+                self.persisted.update(wb.values)
+            else:
+                remaining.append(wb)
+        self.in_flight = remaining
+
+    def _settle_thread(self, tid: int) -> None:
+        """Land every in-flight write of *tid* (the fence waited for them).
+
+        The memory controller serializes same-line writes in arrival
+        order, so retiring one of *tid*'s writes also retires every
+        same-line write that arrived before it — otherwise a stale
+        payload could land after a newer one and revert the persistence
+        domain.
+        """
+        last: Dict[int, int] = {}
+        for i, wb in enumerate(self.in_flight):
+            if wb.tid == tid:
+                last[wb.line] = i
+        remaining = []
+        for i, wb in enumerate(self.in_flight):
+            if i <= last.get(wb.line, -1):
+                self.persisted.update(wb.values)
+            else:
+                remaining.append(wb)
+        self.in_flight = remaining
+
+    def persisted_image(self, at: Optional[int] = None) -> Dict[int, int]:
+        """The words DRAM would hold if power failed right now.
+
+        Non-destructive counterpart of :meth:`crash`: in-flight writebacks
+        whose completion time has passed (``done <= at``, or the issuing
+        thread's clock when *at* is ``None``) are included; younger ones
+        are the mid-writeback window a crash would lose.
+        """
+        image = dict(self.persisted)
+        horizon: Dict[int, int] = {}
+        for wb in self.in_flight:
+            # same-line writes complete in arrival order at the
+            # controller, so a write cannot land before its predecessors
+            effective = max(wb.done, horizon.get(wb.line, wb.done))
+            horizon[wb.line] = effective
+            deadline = at if at is not None else self.threads[wb.tid].now
+            if effective <= deadline:
+                image.update(wb.values)
+        return image
 
     # ------------------------------------------------------ L2 maintenance
     def _l2_fetch(self, line: int) -> L2Rec:
@@ -159,10 +247,12 @@ class TimingSystem:
                 victim_line, victim = spilled
                 if victim.dirty:
                     self.persisted.update(victim.values)
+                    self._count_wb(victim_line)
                     self.stats.inc("l3_evict_writebacks")
             self.stats.inc("l2_evict_to_l3")
         elif rec.dirty:
             self.persisted.update(rec.values)
+            self._count_wb(line)
             self.stats.inc("l2_evict_writebacks")
         else:
             self.stats.inc("l2_evict_drops")
@@ -227,7 +317,9 @@ class TimingSystem:
                 cost += self.params.probe_extra
             perm = Perm.TRUNK if rec.directory.idle else Perm.BRANCH
         # GrantData vs GrantDataDirty decides the skip bit (§6.1)
-        skip = self.params.skip_it and not rec.dirty
+        skip = self.params.skip_it and (
+            not rec.dirty or "skip_dirty_grant" in self.mutants
+        )
         l1rec = L1Rec(perm=perm, dirty=want_write, skip=skip and not want_write)
         evicted = self.l1s[ctx.tid].put(line, l1rec)
         if evicted is not None:
@@ -282,7 +374,8 @@ class TimingSystem:
         l1rec = self.l1s[ctx.tid].get(line)
         assert l1rec is not None
         l1rec.dirty = True
-        l1rec.skip = False  # a dirty line is never persisted
+        if "store_keeps_skip" not in self.mutants:
+            l1rec.skip = False  # a dirty line is never persisted
         self.arch[address] = value
         self._line_words.setdefault(line, set()).add(address)
 
@@ -346,13 +439,16 @@ class TimingSystem:
         # requests traverse the L3 on their way to the persistence domain
         l3_extra = self.params.l3_extra_writeback if self.l3 is not None else 0
         latency += l3_extra
+        # words this CBO carries to DRAM; they land only when the
+        # asynchronous writeback completes (see InFlightWriteback)
+        payload: Optional[Dict[int, int]] = None
         if l1rec is not None and l1rec.dirty:
             # dirty in our L1: full path to DRAM
             assert rec is not None
             rec.values.update(self._arch_line(line))
             l1rec.dirty = False
             latency = self.params.cbo_dram_writeback + l3_extra
-            self._persist_l2(line, rec)
+            payload = self._persist_l2(line, rec)
             self.stats.inc("cbo_dram")
         elif rec is not None and (
             rec.dirty or rec.directory.owner not in (None, ctx.tid)
@@ -368,7 +464,7 @@ class TimingSystem:
                 latency = max(
                     latency, self.params.cbo_dram_writeback + l3_extra
                 )
-                self._persist_l2(line, rec)
+                payload = self._persist_l2(line, rec)
                 self.stats.inc("cbo_dram")
             else:
                 self.stats.inc("cbo_l2_clean")
@@ -377,8 +473,10 @@ class TimingSystem:
             # hold the only dirty copy (the line lives in at most one of
             # L2/L3, so ``rec is None`` does not mean "persisted").
             l3rec = self.l3.get(line) if self.l3 is not None else None
+            if "l3_dirty_clean_lost" in self.mutants and not invalidate:
+                l3rec = None  # re-introduced PR 2 bug (test-only)
             if l3rec is not None and l3rec.dirty:
-                self.persisted.update(l3rec.values)
+                payload = dict(l3rec.values)
                 l3rec.dirty = False
                 latency = self.params.cbo_dram_writeback + l3_extra
                 self.stats.inc("cbo_dram")
@@ -394,31 +492,65 @@ class TimingSystem:
                 l3rec = self.l3.remove(line)
                 if l3rec is not None and l3rec.dirty:
                     # flushing a line dirty only in L3 persists it
-                    self.persisted.update(l3rec.values)
+                    payload = dict(payload or {})
+                    payload.update(l3rec.values)
         elif l1rec is not None:
             # after a clean the resident line is persisted (§6.2)
             l1rec.skip = self.params.skip_it
-        self._issue_async(ctx, latency)
+        completion = self._issue_async(ctx, latency)
+        if payload:
+            self._record_wb(ctx, line, payload, done=completion)
+        else:
+            # The line is clean in the hierarchy, but an earlier CBO's
+            # DRAM write for it may still sit in the controller queue.
+            # Same-address ordering puts this CBO's completion behind
+            # those writes, so the fence that waits for *this* CBO also
+            # covers them: adopt their payload under our completion.
+            # Not a new DRAM write — wb_lines is deliberately untouched.
+            merged: Dict[int, int] = {}
+            for wb in self.in_flight:
+                if wb.line == line:
+                    merged.update(wb.values)
+            if merged:
+                self.in_flight.append(
+                    InFlightWriteback(
+                        tid=ctx.tid, done=completion, line=line, values=merged
+                    )
+                )
 
-    def _persist_l2(self, line: int, rec: L2Rec) -> None:
-        self.persisted.update(rec.values)
+    def _persist_l2(self, line: int, rec: L2Rec) -> Dict[int, int]:
+        """Snapshot the L2 copy for DRAM and clear its dirty bit (§4)."""
         rec.dirty = False
+        if "clean_forgets_l2_dirty" in self.mutants:
+            return {}  # marked clean, payload dropped (test-only bug)
+        return dict(rec.values)
 
-    def _issue_async(self, ctx: ThreadCtx, latency: int) -> None:
-        """Track an asynchronous writeback, bounded by the FSHR count."""
+    def _issue_async(self, ctx: ThreadCtx, latency: int) -> int:
+        """Track an asynchronous writeback, bounded by the FSHR count.
+
+        Returns the completion time on the thread's virtual clock.
+        """
         start = ctx.now
         if len(ctx.outstanding) >= self.params.num_fshrs:
             start = max(start, ctx.outstanding.popleft())
-        ctx.outstanding.append(start + latency)
+        done = start + latency
+        ctx.outstanding.append(done)
+        return done
 
     def fence(self, ctx: ThreadCtx) -> None:
         """FENCE: wait for every outstanding writeback of this thread (§5.3)."""
         waited = 0
-        if ctx.outstanding:
+        if "fence_forgets_writebacks" in self.mutants:
+            ctx.outstanding.clear()  # test-only bug: no wait, no settle
+        elif ctx.outstanding:
             horizon = max(ctx.outstanding)
             waited = max(0, horizon - ctx.now)
             ctx.now = max(ctx.now, horizon)
             ctx.outstanding.clear()
+        if "fence_forgets_writebacks" not in self.mutants:
+            # every writeback of this thread has now completed; its bytes
+            # are in the persistence domain
+            self._settle_thread(ctx.tid)
         ctx.now += self.params.fence_base
         self.stats.inc("fences")
         if self.obs is not None:
@@ -436,6 +568,7 @@ class TimingSystem:
         each configuration starts from the same warm, persisted state
         instead of measuring the prefill's writeback transient.
         """
+        self.in_flight.clear()  # superseded: everything lands right now
         self.persisted.update(self.arch)
         for _, rec in self.l2.items():
             rec.values.update(
@@ -457,8 +590,22 @@ class TimingSystem:
                 l1rec.skip = self.params.skip_it
 
     # ---------------------------------------------------------------- crash
-    def crash(self) -> Dict[int, int]:
-        """Drop all cache state; return what survived (the persisted words)."""
+    def crash(self, at: Optional[int] = None) -> Dict[int, int]:
+        """Drop all cache state; return what survived (the persisted words).
+
+        In-flight writebacks that completed by *at* (or by their issuing
+        thread's clock when *at* is ``None``) made it to DRAM; younger
+        ones are lost with the caches — the mid-writeback crash window
+        the injector (:mod:`repro.verify.injector`) enumerates.
+        """
+        horizon: Dict[int, int] = {}
+        for wb in self.in_flight:
+            effective = max(wb.done, horizon.get(wb.line, wb.done))
+            horizon[wb.line] = effective
+            deadline = at if at is not None else self.threads[wb.tid].now
+            if effective <= deadline:
+                self.persisted.update(wb.values)
+        self.in_flight = []
         p = self.params
         self.l1s = [LineCache(p.l1) for _ in range(p.num_threads)]
         self.l2 = LineCache(p.l2)

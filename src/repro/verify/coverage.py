@@ -1,0 +1,166 @@
+"""FSM coverage riding the observability bus.
+
+A verification run that never drove the flush unit through
+``root_release_data`` says nothing about the §5.2 writeback path, however
+green it looks.  :class:`FsmCoverage` subscribes to an
+:class:`~repro.obs.events.EventBus` and tallies three universes:
+
+* **FSHR states** — every state a ``cbo`` span passes through (the §5.2
+  FSM: queued, meta_write, fill_buffer, root_release_data, root_release,
+  root_release_ack).  This is the gating universe:
+  :meth:`FsmCoverage.meets_floor` compares it against the coverage floor.
+* **TileLink opcodes** — message class names crossing any channel.
+* **Interleavings** — which *categories* of activity (CBO, probe,
+  eviction, L1 MSHR) were simultaneously in flight when a new span
+  opened.  Concurrent CBO+probe or CBO+eviction windows are exactly the
+  §5.4 interference cases.
+
+``merge`` combines trackers from multiple runs so a sweep can gate on
+aggregate coverage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Optional
+
+#: the §5.2 FSHR FSM, plus the flush-queue wait that precedes it
+FSHR_STATES = frozenset(
+    {
+        "queued",
+        "meta_write",
+        "fill_buffer",
+        "root_release_data",
+        "root_release",
+        "root_release_ack",
+    }
+)
+
+#: every TileLink message class the model can emit (Grant is modelled as
+#: GrantData throughout: the L2 always responds with data)
+TILELINK_OPS = frozenset(
+    {
+        "Acquire",
+        "Probe",
+        "ProbeAck",
+        "Release",
+        "GrantData",
+        "ReleaseAck",
+        "GrantAck",
+    }
+)
+
+#: span categories whose overlap makes an interesting interleaving
+INTERLEAVING_CATEGORIES = frozenset({"cbo", "probe", "eviction", "l1_mshr"})
+
+#: default gating floor on FSHR-state coverage (the acceptance bar)
+DEFAULT_FLOOR = 0.9
+
+
+class FsmCoverage:
+    """Event-bus subscriber tallying FSM/opcode/interleaving coverage."""
+
+    def __init__(self, floor: float = DEFAULT_FLOOR) -> None:
+        self.floor = floor
+        self.fshr_states: Counter = Counter()
+        self.tilelink_ops: Counter = Counter()
+        self.interleavings: Counter = Counter()  # FrozenSet[str] -> count
+        self._open_categories: Counter = Counter()
+        self._bus = None
+
+    # ------------------------------------------------------------- wiring
+    def attach(self, bus) -> "FsmCoverage":
+        bus.subscribe(self._on_event)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
+
+    def _on_event(self, event) -> None:
+        if event.category == "tilelink":
+            if event.name in TILELINK_OPS:
+                self.tilelink_ops[event.name] += 1
+            return
+        name = event.name
+        state: Optional[str] = None
+        if ":" in name:
+            state = name.rsplit(":", 1)[1]
+        if event.category == "cbo" and state is not None:
+            if state == "begin":
+                self.fshr_states["queued"] += 1
+            elif state in FSHR_STATES:
+                self.fshr_states[state] += 1
+        if event.category in INTERLEAVING_CATEGORIES and state is not None:
+            if state == "begin":
+                self._open_categories[event.category] += 1
+                signature: FrozenSet[str] = frozenset(
+                    category
+                    for category, count in self._open_categories.items()
+                    if count > 0
+                )
+                self.interleavings[signature] += 1
+            elif state == "end":
+                if self._open_categories[event.category] > 0:
+                    self._open_categories[event.category] -= 1
+
+    # -------------------------------------------------------------- gating
+    def fshr_coverage(self) -> float:
+        return len(set(self.fshr_states) & FSHR_STATES) / len(FSHR_STATES)
+
+    def missing_fshr_states(self) -> List[str]:
+        return sorted(FSHR_STATES - set(self.fshr_states))
+
+    def missing_tilelink_ops(self) -> List[str]:
+        return sorted(TILELINK_OPS - set(self.tilelink_ops))
+
+    def meets_floor(self, floor: Optional[float] = None) -> bool:
+        return self.fshr_coverage() >= (self.floor if floor is None else floor)
+
+    def merge(self, other: "FsmCoverage") -> "FsmCoverage":
+        self.fshr_states.update(other.fshr_states)
+        self.tilelink_ops.update(other.tilelink_ops)
+        self.interleavings.update(other.interleavings)
+        return self
+
+    # ------------------------------------------------------------- report
+    def report(self) -> Dict[str, object]:
+        return {
+            "fshr_coverage": self.fshr_coverage(),
+            "fshr_states": dict(self.fshr_states),
+            "fshr_missing": self.missing_fshr_states(),
+            "tilelink_ops": dict(self.tilelink_ops),
+            "tilelink_missing": self.missing_tilelink_ops(),
+            "interleavings": {
+                "+".join(sorted(sig)): count
+                for sig, count in sorted(
+                    self.interleavings.items(), key=lambda kv: sorted(kv[0])
+                )
+            },
+        }
+
+    def report_lines(self) -> List[str]:
+        lines = [
+            f"FSHR state coverage: {self.fshr_coverage():.0%} "
+            f"(floor {self.floor:.0%})"
+        ]
+        for state in sorted(FSHR_STATES):
+            count = self.fshr_states.get(state, 0)
+            mark = " " if count else "!"
+            lines.append(f"  {mark} {state:<20} {count}")
+        lines.append(
+            "TileLink opcodes: "
+            f"{len(set(self.tilelink_ops) & TILELINK_OPS)}/{len(TILELINK_OPS)}"
+        )
+        for op in sorted(TILELINK_OPS):
+            count = self.tilelink_ops.get(op, 0)
+            mark = " " if count else "!"
+            lines.append(f"  {mark} {op:<20} {count}")
+        lines.append(f"Interleaving signatures: {len(self.interleavings)}")
+        for sig, count in sorted(
+            self.interleavings.items(), key=lambda kv: sorted(kv[0])
+        ):
+            lines.append(f"    {'+'.join(sorted(sig)):<28} {count}")
+        return lines

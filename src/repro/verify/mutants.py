@@ -1,0 +1,112 @@
+"""Known-bad model variants the verification harness must catch.
+
+A green harness proves nothing unless it is known to turn red on real
+bugs.  This module re-introduces historical and plausible defects behind
+test-only switches:
+
+* **Timing mutants** toggle flags in
+  :attr:`repro.timing.system.TimingSystem.mutants`; the model consults
+  them at the exact code paths the original bugs lived in (e.g.
+  ``l3_dirty_clean_lost`` is the PR 2 data-loss bug where CBO.CLEAN
+  treated a line absent from L2 as persisted while the victim L3 held the
+  only dirty copy).
+* **Soc mutants** monkeypatch the cycle-level model inside a context
+  manager, since the RTL-ish code has no test hooks.
+
+``tests/test_verify_oracle.py`` asserts every mutant listed here makes
+the corresponding injector report violations — the oracle's self-test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+#: timing-model mutants: flag -> what breaks when it is set
+TIMING_MUTANTS: Dict[str, str] = {
+    "l3_dirty_clean_lost": (
+        "CBO.CLEAN treats a line absent from L2 as persisted while the "
+        "victim L3 holds the only dirty copy (the PR 2 bug)"
+    ),
+    "clean_forgets_l2_dirty": (
+        "CBO.X clears the L2 dirty bit but drops the DRAM payload"
+    ),
+    "store_keeps_skip": (
+        "a re-dirtying store leaves the skip bit set, so the next CBO.X "
+        "is wrongly dropped (§6.2 unsoundness)"
+    ),
+    "skip_dirty_grant": (
+        "fills from a dirty L2 (GrantDataDirty) set the skip bit as if "
+        "the line were persisted"
+    ),
+    "fence_forgets_writebacks": (
+        "FENCE commits without waiting for the thread's outstanding "
+        "writebacks (§5.3 violation)"
+    ),
+}
+
+
+@contextmanager
+def timing_mutant(system, name: str) -> Iterator[None]:
+    """Enable one timing-model mutant for the duration of the block."""
+    if name not in TIMING_MUTANTS:
+        raise ValueError(f"unknown timing mutant {name!r}")
+    system.mutants.add(name)
+    try:
+        yield
+    finally:
+        system.mutants.discard(name)
+
+
+#: Soc mutants: name -> what breaks while the patch is active
+SOC_MUTANTS: Dict[str, str] = {
+    "grant_dirty_sets_skip": (
+        "GrantData marked dirty still sets the skip bit on install, so a "
+        "not-yet-persisted line pretends to be persisted"
+    ),
+    "fence_ignores_flushing": (
+        "fences commit while the flush counter is nonzero, so a crash "
+        "after the fence can lose the CBO.X payload still in the FSHRs"
+    ),
+}
+
+
+@contextmanager
+def soc_mutant(name: str) -> Iterator[None]:
+    """Patch the cycle-level model with one known bug for the block.
+
+    Patches the *classes*, so apply before constructing the Soc or after —
+    either works, every instance is affected while the block is active.
+    """
+    if name == "grant_dirty_sets_skip":
+        from repro.uarch.l1 import L1DataCache
+
+        original = L1DataCache._handle_grant
+
+        def patched(self, grant, cycle):
+            original(self, grant, cycle)
+            hit = self.meta.lookup(grant.address)
+            if hit is not None and self.params.skip_it:
+                hit[1].skip = True
+
+        L1DataCache._handle_grant = patched
+        try:
+            yield
+        finally:
+            L1DataCache._handle_grant = original
+    elif name == "fence_ignores_flushing":
+        from repro.uarch.cpu import Core
+
+        original_blocker = Core._fence_blocker
+
+        def patched_blocker(self):
+            blocker = original_blocker(self)
+            return None if blocker == "flush" else blocker
+
+        Core._fence_blocker = patched_blocker
+        try:
+            yield
+        finally:
+            Core._fence_blocker = original_blocker
+    else:
+        raise ValueError(f"unknown soc mutant {name!r}")

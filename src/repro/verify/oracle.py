@@ -1,0 +1,256 @@
+"""The §4/§6 durability oracle.
+
+The oracle tracks, per word, the sequence of architecturally-written
+values (its *history*) and the *floor*: the oldest version the
+persistence domain may still hold.  The floor rises when a fence seals a
+CBO.X — from that point on, a crash image whose version for the word is
+older than the floor means a fenced store was lost.  Three checks:
+
+``lost``
+    A word's persisted version is older than its floor: the §4 contract
+    (CBO.X + fence ⇒ persisted) was violated.
+``ghost``
+    The persisted value was never architecturally written: the crash
+    image contains bytes no execution could have produced.
+``skip_unsound``
+    A line carries the Skip It bit while it is dirty or differs from the
+    persistence domain — the §6.2 soundness invariant.  Skipping a CBO.X
+    on such a line silently drops the durability contract.
+
+Histories assume *value-unique stores*: every store in a checked program
+writes a distinct nonzero value, so a persisted value identifies its
+version.  The program generators in :mod:`repro.verify.fuzz` guarantee
+this; :meth:`WordHistory.observe` rejects duplicates loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: version number of the initial (all-zeroes) contents of a word
+INITIAL_VERSION = 0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure at a crash point."""
+
+    kind: str  # "lost" | "ghost" | "skip_unsound"
+    word: int
+    detail: str
+    at: object = None  # cycle (Soc) or op index (TimingSystem)
+
+    def __str__(self) -> str:
+        where = f" @ {self.at}" if self.at is not None else ""
+        return f"[{self.kind}] word {self.word:#x}{where}: {self.detail}"
+
+
+class WordHistory:
+    """Per-word architectural write history with version numbers.
+
+    Version 0 is the initial zero contents; version ``k`` is the ``k``-th
+    observed write.  Values must be unique per word (and nonzero) so a
+    persisted value maps back to exactly one version.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, List[int]] = {}
+
+    def words(self) -> Iterable[int]:
+        return self._values.keys()
+
+    def observe(self, word: int, value: int) -> Optional[int]:
+        """Record *value* as the newest architectural value of *word*.
+
+        Returns the new version number, or ``None`` when the value is
+        unchanged (no new write happened).
+        """
+        history = self._values.setdefault(word, [])
+        if history and history[-1] == value:
+            return None
+        if not history and value == 0:
+            return None  # still the initial contents
+        if value in history or value == 0:
+            raise ValueError(
+                f"word {word:#x}: value {value} repeats in history; the "
+                "oracle needs value-unique nonzero stores"
+            )
+        history.append(value)
+        return len(history)
+
+    def latest_version(self, word: int) -> int:
+        return len(self._values.get(word, ()))
+
+    def version_of(self, word: int, value: int) -> Optional[int]:
+        """Version holding *value*, or ``None`` when no version ever did."""
+        if value == 0:
+            return INITIAL_VERSION
+        history = self._values.get(word, [])
+        try:
+            return history.index(value) + 1
+        except ValueError:
+            return None
+
+    def value_of(self, word: int, version: int) -> int:
+        if version == INITIAL_VERSION:
+            return 0
+        return self._values[word][version - 1]
+
+
+class DurabilityOracle:
+    """Checks crash images against the fenced-durability floor."""
+
+    def __init__(self, history: Optional[WordHistory] = None) -> None:
+        self.history = history or WordHistory()
+        self.floor: Dict[int, int] = {}
+        self.seals = 0
+
+    def seal(self, versions: Dict[int, int]) -> None:
+        """Raise the floor: a fence retired a CBO.X that covered *versions*.
+
+        ``versions`` maps each word of the CBO's line to the version it
+        had when the CBO issued — everything at or below that version is
+        now guaranteed persisted.
+        """
+        self.seals += 1
+        for word, version in versions.items():
+            if version > self.floor.get(word, INITIAL_VERSION):
+                self.floor[word] = version
+
+    def check_image(
+        self,
+        image: Dict[int, int],
+        at: object = None,
+        ceiling: Optional[Dict[int, int]] = None,
+    ) -> List[Violation]:
+        """Diff a crash image (word → value) against history and floor.
+
+        *ceiling* optionally maps each word to the newest version the
+        execution has architecturally produced so far; a persisted value
+        from a version above it is data from the future — written to the
+        persistence domain before the store that produces it executed.
+        """
+        violations: List[Violation] = []
+        for word in set(self.history.words()) | set(self.floor):
+            value = image.get(word, 0)
+            version = self.history.version_of(word, value)
+            if version is None:
+                violations.append(
+                    Violation(
+                        kind="ghost",
+                        word=word,
+                        detail=f"persisted value {value} was never written",
+                        at=at,
+                    )
+                )
+                continue
+            if ceiling is not None and version > ceiling.get(word, 0):
+                violations.append(
+                    Violation(
+                        kind="ghost",
+                        word=word,
+                        detail=(
+                            f"persisted version {version} (value {value}) "
+                            f"is from the future: only "
+                            f"{ceiling.get(word, 0)} writes have executed"
+                        ),
+                        at=at,
+                    )
+                )
+                continue
+            floor = self.floor.get(word, INITIAL_VERSION)
+            if version < floor:
+                violations.append(
+                    Violation(
+                        kind="lost",
+                        word=word,
+                        detail=(
+                            f"persisted version {version} (value {value}) "
+                            f"is older than the fenced floor {floor} (value "
+                            f"{self.history.value_of(word, floor)})"
+                        ),
+                        at=at,
+                    )
+                )
+        return violations
+
+
+# --------------------------------------------------------------- skip bits
+def check_soc_skip_bits(soc, at: object = None) -> List[Violation]:
+    """§6.2 on the cycle model: skip ⇒ clean ∧ byte-identical to DRAM."""
+    violations: List[Violation] = []
+    for l1 in soc.l1s:
+        for set_idx, way, entry in l1.meta.iter_valid():
+            if not entry.skip:
+                continue
+            address = l1.meta.address_of(set_idx, entry)
+            if entry.dirty:
+                violations.append(
+                    Violation(
+                        kind="skip_unsound",
+                        word=address,
+                        detail=f"L1 {l1.agent_id} skip bit set on dirty line",
+                        at=at,
+                    )
+                )
+                continue
+            cached = l1.data.read_line(set_idx, way)
+            memory_line = soc.memory.peek_line(address)
+            if cached != memory_line:
+                violations.append(
+                    Violation(
+                        kind="skip_unsound",
+                        word=address,
+                        detail=(
+                            f"L1 {l1.agent_id} skip bit set but line "
+                            "differs from DRAM"
+                        ),
+                        at=at,
+                    )
+                )
+    return violations
+
+
+def check_timing_skip_bits(system, at: object = None) -> List[Violation]:
+    """§6.2 on the timing model: skip ⇒ clean ∧ persisted-or-in-flight.
+
+    The timing model sets the skip bit at CBO issue while the DRAM write
+    is still in flight (the same fence that covers the CBO waits for it),
+    so in-flight payloads of the line count as persistence-domain bytes
+    for this invariant.
+    """
+    violations: List[Violation] = []
+    for tid, l1 in enumerate(system.l1s):
+        for line, rec in l1.items():
+            if not rec.skip:
+                continue
+            if rec.dirty:
+                violations.append(
+                    Violation(
+                        kind="skip_unsound",
+                        word=line,
+                        detail=f"thread {tid} skip bit set on dirty line",
+                        at=at,
+                    )
+                )
+                continue
+            effective = dict(system.persisted)
+            for wb in system.in_flight:
+                if wb.line == line:
+                    effective.update(wb.values)
+            for word in system._words_of(line):
+                if system.arch.get(word, 0) != effective.get(word, 0):
+                    violations.append(
+                        Violation(
+                            kind="skip_unsound",
+                            word=word,
+                            detail=(
+                                f"thread {tid} skip bit set but word holds "
+                                f"{system.arch.get(word, 0)} vs persisted "
+                                f"{effective.get(word, 0)}"
+                            ),
+                            at=at,
+                        )
+                    )
+    return violations

@@ -105,6 +105,26 @@ class TestDurabilityMatrix:
         assert system.stats.get("cbo_l2_clean") == before + 1
         assert system.stats.get("cbo_l3_dirty_writebacks") == 0
 
+    @pytest.mark.parametrize("skip_it", (False, True))
+    @pytest.mark.parametrize("location", LOCATIONS)
+    @pytest.mark.parametrize("op", ("clean", "flush"))
+    def test_crash_at_every_boundary(self, op, location, skip_it):
+        """The matrix again, but crashing at *every* op boundary.
+
+        ``test_cbo_persists_dirty_data`` checks the final image;
+        the injector additionally checks the mid-writeback windows —
+        after the store, after the CBO issues but before its DRAM write
+        completes, and after the sealing fence.
+        """
+        from repro.verify.cli import matrix_schedule, matrix_system
+        from repro.verify.injector import TimingCrashInjector
+
+        system = matrix_system(skip_it)
+        schedule = matrix_schedule(system, op, location)
+        report = TimingCrashInjector(system).run(schedule)
+        assert report.ok, report.summary()
+        assert report.crash_points == len(schedule)
+
     def test_clean_keeps_l3_copy_flush_drops_it(self):
         system_clean = mk(skip_it=False)
         dirty_in(system_clean, "l3")

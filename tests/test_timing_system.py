@@ -137,6 +137,8 @@ class TestWritebacks:
         t.flush(0x40)
         assert system.l1s[0].get(0x40) is None
         assert system.l2.get(0x40) is None
+        # the DRAM write is still in flight until the fence retires it
+        t.fence()
         assert system.persisted[0x40] == 9
 
     def test_writeback_does_not_cover_later_stores(self):
