@@ -1,0 +1,72 @@
+"""Figure 17: durable-store throughput vs group-commit x optimizer.
+
+Not a paper figure — the claims under test are the ones the subsystem
+exists to demonstrate: group commit amortizes fences (fence count falls
+~1/batch), and Skip It removes the redundant log-tail writebacks that
+plain re-issues every clean (cbo_issued collapses, throughput rises).
+"""
+
+import pytest
+
+from repro.bench.store import run_fig17
+
+
+@pytest.mark.figure(17)
+def test_fig17_group_commit_amortizes_fences(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig17(
+            quick=True,
+            optimizers=["plain"],
+            group_commits=[1, 8, 64],
+            duration=40_000,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fences = {r.group_commit: r.fences for r in rows}
+    assert_shape(
+        fences[1] > 3 * fences[8] > 9 * fences[64],
+        f"fences fall roughly with batch size: {fences}",
+    )
+    tp = {r.group_commit: r.throughput_mops for r in rows}
+    assert_shape(
+        tp[64] > tp[1],
+        f"batching pays despite identical log traffic: {tp}",
+    )
+
+
+@pytest.mark.figure(17)
+def test_fig17_skipit_drops_redundant_log_writebacks(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig17(
+            quick=True,
+            optimizers=["plain", "skipit"],
+            group_commits=[8, 64],
+            duration=40_000,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cells = {(r.optimizer, r.group_commit): r for r in rows}
+    for gc in (8, 64):
+        plain, skipit = cells[("plain", gc)], cells[("skipit", gc)]
+        assert_shape(
+            skipit.cbo_issued < plain.cbo_issued / 2,
+            f"gc={gc}: Skip It issues far fewer CBOs "
+            f"({skipit.cbo_issued} vs {plain.cbo_issued})",
+        )
+        assert_shape(
+            skipit.cbo_skipped > 0,
+            f"gc={gc}: the hardware filter actually fired",
+        )
+        assert_shape(
+            skipit.throughput_mops > plain.throughput_mops,
+            f"gc={gc}: the skipped writebacks buy throughput "
+            f"({skipit.throughput_mops:.3f} vs {plain.throughput_mops:.3f})",
+        )
+        assert_shape(
+            abs(skipit.fences - plain.fences) <= max(2, plain.fences // 10),
+            f"gc={gc}: fence counts comparable (same commit cadence)",
+        )

@@ -14,6 +14,7 @@ from repro.bench.micro import (
     run_fig12,
     run_fig13,
 )
+from repro.bench.store import run_fig17
 from repro.bench.structures import run_fig14, run_fig15, run_fig16
 
 FIGURES = {
@@ -25,15 +26,18 @@ FIGURES = {
     14: run_fig14,
     15: run_fig15,
     16: run_fig16,
+    17: run_fig17,
 }
 
 #: figures by declared row type — the CLI/report dispatch on these sets
 #: rather than sniffing the first row, which misfires on empty row lists
 MICRO_FIGURES = frozenset({9, 10, 11, 12, 13})
 THROUGHPUT_FIGURES = frozenset({14, 15, 16})
+STORE_FIGURES = frozenset({17})
 
 __all__ = [
     "MICRO_FIGURES",
+    "STORE_FIGURES",
     "THROUGHPUT_FIGURES",
     "run_fig09",
     "run_fig10",
@@ -43,5 +47,6 @@ __all__ = [
     "run_fig14",
     "run_fig15",
     "run_fig16",
+    "run_fig17",
     "FIGURES",
 ]

@@ -28,6 +28,14 @@ THROUGHPUT_VALUE_FIELDS = (
     "cbo_issued",
     "cbo_skipped",
 )
+STORE_VALUE_FIELDS = (
+    "throughput_mops",
+    "fences",
+    "cbo_issued",
+    "cbo_skipped",
+    "wal_records",
+    "commits",
+)
 #: default relative tolerance band for --check
 DEFAULT_REL_TOL = 0.02
 
@@ -36,6 +44,11 @@ def _row_key(row: Mapping[str, object]) -> str:
     """Stable identity of a row within its figure (kind-aware)."""
     if "series" in row:  # MicroRow
         return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
+    if "group_commit" in row:  # StoreRow
+        return (
+            f"store|{row['optimizer']}|gc={row['group_commit']}"
+            f"|t={row['threads']}"
+        )
     return (
         f"{row['structure']}|{row['policy']}|{row['optimizer']}"
         f"|upd={row['update_percent']}"
@@ -125,9 +138,12 @@ def check(
             problems.append(f"fig {fig}: row not in baseline: {key}")
         for key in sorted(set(cur_rows) & set(base_rows)):
             cur, base = cur_rows[key], base_rows[key]
-            fields = (
-                MICRO_VALUE_FIELDS if "series" in cur else THROUGHPUT_VALUE_FIELDS
-            )
+            if "series" in cur:
+                fields = MICRO_VALUE_FIELDS
+            elif "group_commit" in cur:
+                fields = STORE_VALUE_FIELDS
+            else:
+                fields = THROUGHPUT_VALUE_FIELDS
             for name in fields:
                 if not _close(cur.get(name), base.get(name), rel_tol):
                     problems.append(

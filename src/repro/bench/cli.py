@@ -15,9 +15,10 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.bench import FIGURES, MICRO_FIGURES, baseline
+from repro.bench import FIGURES, MICRO_FIGURES, STORE_FIGURES, baseline
 from repro.bench.format import format_table, human_size
 from repro.bench.micro import MicroRow
+from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
 
 
@@ -62,6 +63,38 @@ def _print_throughput(rows: List[ThroughputRow]) -> None:
                     r.flush_requests,
                     r.cbo_issued,
                     r.cbo_skipped,
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def _print_store(rows: List[StoreRow]) -> None:
+    print(
+        format_table(
+            [
+                "optimizer",
+                "gc",
+                "threads",
+                "Mops/s",
+                "fences",
+                "cbo issued",
+                "cbo skipped",
+                "wal recs",
+                "mean batch",
+            ],
+            [
+                (
+                    r.optimizer,
+                    r.group_commit,
+                    r.threads,
+                    r.throughput_mops,
+                    r.fences,
+                    r.cbo_issued,
+                    r.cbo_skipped,
+                    r.wal_records,
+                    round(r.mean_batch, 2),
                 )
                 for r in rows
             ],
@@ -138,6 +171,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"\n=== Figure {fig} ===")
         if fig in MICRO_FIGURES:
             _print_micro(run.rows)
+        elif fig in STORE_FIGURES:
+            _print_store(run.rows)
         else:
             _print_throughput(run.rows)
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")

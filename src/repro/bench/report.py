@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.bench import FIGURES, MICRO_FIGURES
+from repro.bench import FIGURES, MICRO_FIGURES, STORE_FIGURES
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
+from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
 
 _FIGURE_TITLES = {
@@ -24,6 +25,7 @@ _FIGURE_TITLES = {
     14: "persistent-set throughput, 5% updates (§7.4)",
     15: "throughput vs update percentage (§7.4)",
     16: "BST vs FliT hash-table size (§7.4)",
+    17: "durable store: throughput vs group-commit x optimizer (repro.store)",
 }
 
 
@@ -55,6 +57,34 @@ def _render_micro(rows: List[MicroRow]) -> str:
                 r.threads,
                 r.median_cycles,
                 r.stdev_cycles,
+            )
+            for r in rows
+        ],
+    )
+
+
+def _render_store(rows: List[StoreRow]) -> str:
+    return _markdown_table(
+        [
+            "optimizer",
+            "gc",
+            "Mops/s",
+            "fences",
+            "cbo issued",
+            "cbo skipped",
+            "wal recs",
+            "mean batch",
+        ],
+        [
+            (
+                r.optimizer,
+                r.group_commit,
+                r.throughput_mops,
+                r.fences,
+                r.cbo_issued,
+                r.cbo_skipped,
+                r.wal_records,
+                r.mean_batch,
             )
             for r in rows
         ],
@@ -147,6 +177,11 @@ def build_report(
         sections.append(f"\n## Figure {fig} — {title}\n")
         if fig in MICRO_FIGURES:
             sections.append(_render_micro(rows))
+        elif fig in STORE_FIGURES:
+            sections.append(_render_store(rows))
+            summary = _render_metrics_summary(rows)
+            if summary:
+                sections.append(summary)
         else:
             sections.append(_render_throughput(rows))
             summary = _render_metrics_summary(rows)

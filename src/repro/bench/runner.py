@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.micro import sweep_axes as micro_axes
+from repro.bench.store import sweep_axes as store_axes
 from repro.bench.structures import sweep_axes as throughput_axes
 
 
@@ -177,6 +178,16 @@ def decompose(figure: int, quick: bool = False) -> List[BenchPoint]:
                 include_reference=False,
             )
         add("skipit-reference", seeded=True, table_sizes=(), include_reference=True)
+    elif figure == 17:
+        axes = store_axes(17, quick)
+        for optimizer in axes["optimizers"]:
+            for group_commit in axes["group_commits"]:
+                add(
+                    f"{optimizer},gc={group_commit}",
+                    seeded=True,
+                    optimizers=(optimizer,),
+                    group_commits=(group_commit,),
+                )
     else:
         raise KeyError(f"unknown figure {figure}")
     return points

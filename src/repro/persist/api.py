@@ -58,6 +58,18 @@ class PMemView:
         self.flush_requests += 1
         self.optimizer.flush(self.ctx, address)
 
+    def clean(self, address: int) -> None:
+        """Request a non-invalidating writeback (CBO.CLEAN).
+
+        Unlike :meth:`flush`, the line stays cache-resident — the right
+        primitive for hot metadata such as a log tail, where the next
+        operation re-reads or re-writes the same line and (with Skip It)
+        redundant cleans of the still-persisted line are dropped at the
+        L1.  Goes through the same optimizer filter as :meth:`flush`.
+        """
+        self.flush_requests += 1
+        self.optimizer.clean(self.ctx, address)
+
     # ----------------------------------------------------- operation frame
     def op_begin(self) -> None:
         self._did_update = False

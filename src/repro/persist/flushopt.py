@@ -52,6 +52,15 @@ class FlushOptimizer:
     def flush(self, ctx: ThreadCtx, address: int) -> None:
         ctx.flush(address)
 
+    def clean(self, ctx: ThreadCtx, address: int) -> None:
+        """Non-invalidating writeback (CBO.CLEAN) through the filter.
+
+        The line stays resident, so a hot line (a log tail, a commit
+        marker) cleaned once per epoch is exactly the redundant-writeback
+        pattern the filters exist for.
+        """
+        ctx.clean(address)
+
     def declare_persisted(self, system) -> None:
         """Reset bookkeeping after ``TimingSystem.persist_all`` (setup aid).
 
@@ -118,6 +127,12 @@ class FlitAdjacent(FlushOptimizer):
             ctx.flush(address)
             ctx.store(counter, 0)
 
+    def clean(self, ctx: ThreadCtx, address: int) -> None:
+        counter = self._counter_of(address)
+        if ctx.load(counter):
+            ctx.clean(address)
+            ctx.store(counter, 0)
+
 
 class FlitHashTable(FlushOptimizer):
     """FliT with counters in a shared fixed-size table.
@@ -166,6 +181,12 @@ class FlitHashTable(FlushOptimizer):
             ctx.flush(address)
             ctx.store(counter, 0)
 
+    def clean(self, ctx: ThreadCtx, address: int) -> None:
+        counter = self._counter_of(address)
+        if ctx.load(counter):
+            ctx.clean(address)
+            ctx.store(counter, 0)
+
     def describe(self) -> str:
         return f"{self.name}({self.table_entries})"
 
@@ -205,6 +226,13 @@ class LinkAndPersist(FlushOptimizer):
         ctx.now += 1
         if raw & _LNP_BIT:
             ctx.flush(address)
+            ctx.cas(address, raw, raw & ~_LNP_BIT)
+
+    def clean(self, ctx: ThreadCtx, address: int) -> None:
+        raw = ctx.system.arch.get(address, 0)
+        ctx.now += 1
+        if raw & _LNP_BIT:
+            ctx.clean(address)
             ctx.cas(address, raw, raw & ~_LNP_BIT)
 
     def declare_persisted(self, system) -> None:

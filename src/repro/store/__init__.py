@@ -1,0 +1,44 @@
+"""repro.store — a crash-consistent KV store on the CBO/Skip-It stack.
+
+The paper argues that user-controlled writebacks make application-level
+persistence cheap; this package is the application.  A durable
+key-value store built from the repo's own primitives:
+
+* :mod:`repro.store.layout` — on-media layout: fixed-size log records
+  (CRC + monotonic LSN), superblock, checkpoint descriptor.
+* :mod:`repro.store.wal` — the write-ahead log, written through a
+  :class:`~repro.persist.api.PMemView` and sealed with CBO + fence.
+* :mod:`repro.store.commit` — group commit: N operations (or a cycle
+  budget) coalesced into one clean+fence epoch, amortizing the fence
+  and exposing the Skip-It win on log-tail rewrites.
+* :mod:`repro.store.checkpoint` — memtable compaction into a persistent
+  hash-table snapshot behind an atomically flipped superblock pointer.
+* :mod:`repro.store.recovery` — superblock → checkpoint → log replay,
+  tolerant of torn / invalid-CRC tail records.
+* :mod:`repro.store.store` — :class:`DurableStore`, tying it together.
+"""
+
+from repro.store.layout import (
+    OP_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    RECORD_FIELDS,
+    StoreLayout,
+    record_crc,
+)
+from repro.store.recovery import RecoveredState, RecoveryError, recover
+from repro.store.store import CommitTicket, DurableStore
+
+__all__ = [
+    "CommitTicket",
+    "DurableStore",
+    "OP_COMMIT",
+    "OP_DELETE",
+    "OP_PUT",
+    "RECORD_FIELDS",
+    "RecoveredState",
+    "RecoveryError",
+    "StoreLayout",
+    "record_crc",
+    "recover",
+]

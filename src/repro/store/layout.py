@@ -1,0 +1,109 @@
+"""On-media layout of the durable store.
+
+Everything the recovery path must parse out of a raw crash image is
+defined here, so :mod:`repro.store.recovery` depends on nothing but a
+``read(address) -> int`` callable and a :class:`StoreLayout`.
+
+Log records are fixed-size — five 64-bit fields at the optimizer's
+field stride (FliT-adjacent doubles it, faithfully doubling the log's
+cache footprint):
+
+====== ========= ====================================================
+field  name      contents
+====== ========= ====================================================
+0      LSN       monotonic log sequence number, 1-based; 0 = never
+                 written (slots are born zero)
+1      OP        ``OP_PUT`` / ``OP_DELETE`` / ``OP_COMMIT``
+2      KEY       key for payload records; batch size for COMMIT
+3      VALUE     value for PUT; 0 for DELETE/COMMIT
+4      CRC       :func:`record_crc` over the four logical fields
+====== ========= ====================================================
+
+Records are deliberately **packed** (no line alignment): consecutive
+records share cache lines, so the log tail is rewritten and re-cleaned
+across an epoch — exactly the redundant-writeback pattern Skip It
+filters in hardware.
+
+The **superblock** is a single line holding one word: the base address
+of the current checkpoint *descriptor* (0 = no checkpoint yet).  The
+descriptor is a five-field object — magic, bucket-heads base, bucket
+count, watermark LSN, CRC — flipped into place with one word write
+after the snapshot it describes is durable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+# record field indices
+F_LSN = 0
+F_OP = 1
+F_KEY = 2
+F_VALUE = 3
+F_CRC = 4
+RECORD_FIELDS = 5
+
+# record opcodes
+OP_PUT = 1
+OP_DELETE = 2
+OP_COMMIT = 3
+
+# checkpoint descriptor field indices
+D_MAGIC = 0
+D_HEADS = 1
+D_BUCKETS = 2
+D_WATERMARK = 3
+D_CRC = 4
+DESCRIPTOR_FIELDS = 5
+DESCRIPTOR_MAGIC = 0x51EE9C4B  # "sleep": the log below the watermark is
+
+# checkpoint map node field indices (key, value, next-node base)
+N_KEY = 0
+N_VALUE = 1
+N_NEXT = 2
+NODE_FIELDS = 3
+
+
+def record_crc(lsn: int, op: int, key: int, value: int) -> int:
+    """Checksum over the *logical* record fields.
+
+    Computed over logical values so it survives optimizer encodings
+    (link-and-persist marks are stripped by the recovery reader before
+    the CRC is re-checked).  Never returns 0: an all-zero torn slot
+    must not accidentally carry a valid CRC.
+    """
+    return zlib.crc32(f"{lsn}:{op}:{key}:{value}".encode()) or 1
+
+
+def descriptor_crc(heads: int, buckets: int, watermark: int) -> int:
+    return zlib.crc32(f"{heads}:{buckets}:{watermark}".encode()) or 1
+
+
+@dataclass(frozen=True)
+class StoreLayout:
+    """Addresses and geometry shared by the store and its recovery."""
+
+    superblock: int  # address of the one-word checkpoint pointer
+    log_base: int  # first byte of the circular log region
+    log_capacity: int  # number of record slots
+    field_stride: int  # bytes between 64-bit fields (optimizer-set)
+    line_bytes: int
+    num_buckets: int  # checkpoint hash-map buckets
+
+    @property
+    def slot_bytes(self) -> int:
+        return RECORD_FIELDS * self.field_stride
+
+    def slot_of(self, lsn: int) -> int:
+        """Circular slot index for a (1-based) LSN."""
+        return (lsn - 1) % self.log_capacity
+
+    def slot_addr(self, index: int) -> int:
+        return self.log_base + index * self.slot_bytes
+
+    def field_addr(self, index: int, field: int) -> int:
+        return self.slot_addr(index) + field * self.field_stride
+
+    def lsn_field_addr(self, lsn: int) -> int:
+        return self.field_addr(self.slot_of(lsn), F_LSN)

@@ -1,0 +1,148 @@
+"""Recovery: rebuild store state from a raw crash image.
+
+Pure functions over ``read(address) -> int`` — typically a
+:func:`repro.persist.structures.base.persisted_reader` over
+``TimingSystem.persisted_image()``, which already strips
+link-and-persist mark bits, so recovery sees logical values.
+
+The sequence is superblock → checkpoint → log replay:
+
+1. read the superblock word; 0 means no checkpoint — start empty with
+   watermark 0;
+2. validate the checkpoint descriptor (magic + CRC; a torn descriptor
+   is unrecoverable by construction, because the flip only lands after
+   the descriptor's fence — seeing one means the invariant broke) and
+   walk the snapshot map;
+3. replay log slots from ``watermark + 1``: each slot must carry the
+   expected LSN, a valid CRC and a known opcode, else the log ends
+   there (torn or stale tail — expected after a crash, not an error);
+   payload records buffer, a ``COMMIT`` marker applies the buffer.
+
+Operations whose epoch marker never became durable are discarded —
+that is group commit's atomicity: all of a batch or none of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.store.checkpoint import read_map
+from repro.store.layout import (
+    D_BUCKETS,
+    D_CRC,
+    D_HEADS,
+    D_MAGIC,
+    D_WATERMARK,
+    DESCRIPTOR_MAGIC,
+    F_CRC,
+    F_KEY,
+    F_LSN,
+    F_OP,
+    F_VALUE,
+    OP_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    StoreLayout,
+    descriptor_crc,
+    record_crc,
+)
+
+Reader = Callable[[int], int]
+
+
+class RecoveryError(RuntimeError):
+    """The image violates an invariant recovery relies on."""
+
+
+@dataclass
+class RecoveredState:
+    """What came back from the image."""
+
+    items: Dict[int, int] = field(default_factory=dict)
+    checkpoint_lsn: int = 0  # watermark of the checkpoint used
+    applied_lsn: int = 0  # last LSN whose effects are in `items`
+    replayed_epochs: int = 0
+    replayed_records: int = 0
+    stop_reason: str = "empty"  # why replay ended
+
+
+def _read_checkpoint(
+    read: Reader, layout: StoreLayout
+) -> Tuple[Dict[int, int], int]:
+    pointer = read(layout.superblock)
+    if pointer == 0:
+        return {}, 0
+    stride = layout.field_stride
+    magic = read(pointer + D_MAGIC * stride)
+    if magic != DESCRIPTOR_MAGIC:
+        raise RecoveryError(
+            f"superblock points at 0x{pointer:x} with bad magic 0x{magic:x}"
+        )
+    heads = read(pointer + D_HEADS * stride)
+    buckets = read(pointer + D_BUCKETS * stride)
+    watermark = read(pointer + D_WATERMARK * stride)
+    crc = read(pointer + D_CRC * stride)
+    if crc != descriptor_crc(heads, buckets, watermark):
+        raise RecoveryError(f"checkpoint descriptor at 0x{pointer:x}: bad CRC")
+    if buckets < 1 or buckets > 1 << 20:
+        raise RecoveryError(f"checkpoint descriptor: absurd bucket count {buckets}")
+    return read_map(read, heads, buckets, layout), watermark
+
+
+def recover(
+    read: Reader, layout: StoreLayout, *, check_lsn: bool = True
+) -> RecoveredState:
+    """Rebuild KV state from a crash image.
+
+    ``check_lsn=False`` is the seeded ``store_replay_trusts_crc``
+    mutant: replay accepts any CRC-valid record in the next slot,
+    ignoring the LSN chain — after the log wraps, stale records from an
+    earlier lap (self-consistent CRCs and all) resurface.  The crash
+    sweep must catch that.
+    """
+    items, watermark = _read_checkpoint(read, layout)
+    state = RecoveredState(
+        items=items, checkpoint_lsn=watermark, applied_lsn=watermark
+    )
+    state.stop_reason = "checkpoint_only"
+
+    pending: List[Tuple[int, int, int]] = []  # (op, key, value)
+    expected = watermark + 1
+    for _ in range(layout.log_capacity):
+        index = layout.slot_of(expected)
+        lsn = read(layout.field_addr(index, F_LSN))
+        op = read(layout.field_addr(index, F_OP))
+        key = read(layout.field_addr(index, F_KEY))
+        value = read(layout.field_addr(index, F_VALUE))
+        crc = read(layout.field_addr(index, F_CRC))
+        if lsn == 0:
+            state.stop_reason = "empty_slot"
+            break
+        if check_lsn and lsn != expected:
+            state.stop_reason = "lsn_mismatch"
+            break
+        if crc != record_crc(lsn, op, key, value):
+            state.stop_reason = "bad_crc"
+            break
+        if op == OP_PUT:
+            pending.append((op, key, value))
+        elif op == OP_DELETE:
+            pending.append((op, key, 0))
+        elif op == OP_COMMIT:
+            for pop, pkey, pvalue in pending:
+                if pop == OP_PUT:
+                    state.items[pkey] = pvalue
+                else:
+                    state.items.pop(pkey, None)
+            pending.clear()
+            state.applied_lsn = expected
+            state.replayed_epochs += 1
+        else:
+            state.stop_reason = "bad_op"
+            break
+        state.replayed_records += 1
+        expected += 1
+    else:
+        state.stop_reason = "log_full"
+    return state

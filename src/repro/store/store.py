@@ -1,0 +1,185 @@
+""":class:`DurableStore` — the facade tying WAL, commit, checkpoint,
+recovery together over one per-thread :class:`~repro.persist.api.PMemView`.
+
+The store does its own explicit cleans and fences (that is the whole
+point), so it is meant to run with the ``none`` persistence policy;
+automatic policies would add per-access flushes on top and drown the
+group-commit signal.
+
+Durability contract
+-------------------
+``put``/``delete`` return a :class:`CommitTicket`.  The operation is
+*durable* once ``ticket.acked`` is True (its epoch's fence retired).
+Before that it may or may not survive a crash — group commit applies
+epochs atomically, so recovery surfaces either the whole batch or none
+of it, and never anything beyond the last *initiated* epoch marker.
+``get`` reads the memtable: read-your-own-writes, including unacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.persist.api import PMemView
+from repro.persist.heap import SimHeap
+from repro.sim.stats import Histogram, StatCounter
+from repro.store.checkpoint import CheckpointManager
+from repro.store.commit import GroupCommitter
+from repro.store.layout import OP_DELETE, OP_PUT, RECORD_FIELDS, StoreLayout
+from repro.store.recovery import RecoveredState
+from repro.store.wal import WriteAheadLog
+
+
+@dataclass
+class CommitTicket:
+    """Handle for one submitted operation."""
+
+    lsn: int
+    acked: bool = False
+
+
+class DurableStore:
+    """A crash-consistent KV store (keys and values are positive ints)."""
+
+    def __init__(
+        self,
+        heap: SimHeap,
+        view: PMemView,
+        *,
+        log_capacity: int = 512,
+        batch_size: int = 8,
+        cycle_budget: Optional[int] = None,
+        checkpoint_every: int = 0,
+        num_buckets: int = 64,
+        layout: Optional[StoreLayout] = None,
+        probe: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        stride = view.optimizer.field_stride
+        if layout is None:
+            superblock = heap.alloc_region(heap.line_bytes)
+            log_base = heap.alloc_region(
+                log_capacity * RECORD_FIELDS * stride
+            )
+            layout = StoreLayout(
+                superblock=superblock,
+                log_base=log_base,
+                log_capacity=log_capacity,
+                field_stride=stride,
+                line_bytes=heap.line_bytes,
+                num_buckets=num_buckets,
+            )
+        elif layout.field_stride != stride:
+            raise ValueError(
+                "layout stride does not match the view's optimizer"
+            )
+        # a batch (plus its marker and one op of slack) must fit the log,
+        # or the capacity check below can never free enough slots
+        if batch_size + 2 > layout.log_capacity:
+            raise ValueError(
+                f"batch_size {batch_size} does not fit a "
+                f"{layout.log_capacity}-slot log"
+            )
+        self.heap = heap
+        self.view = view
+        self.layout = layout
+        self.wal = WriteAheadLog(layout)
+        self.committer = GroupCommitter(self, batch_size, cycle_budget)
+        self.checkpointer = CheckpointManager(self)
+        self.checkpoint_every = checkpoint_every
+        self.memtable: Dict[int, int] = {}
+        self.acked_lsn = 0  # last durable epoch marker
+        self.initiated_lsn = 0  # last epoch marker written to cache
+        self.watermark = 0  # log below this is checkpointed
+        self.stats = StatCounter()
+        self.batch_sizes = Histogram()
+        self.mutants: Set[str] = set()  # seeded-bug flags (tests only)
+        self.probe: Optional[Callable[[str], None]] = probe
+        self._commits_at_checkpoint = 0
+
+    # ---------------------------------------------------------- internals
+    def probe_point(self, name: str) -> None:
+        """Crash-sweep hook: fired at every protocol boundary."""
+        if self.probe is not None:
+            self.probe(name)
+
+    def _ensure_capacity(self) -> None:
+        # slots in use after this append span (watermark, next_lsn]
+        # plus headroom for the batch's eventual COMMIT marker
+        if (
+            self.wal.next_lsn + 1 - self.watermark
+            > self.layout.log_capacity
+        ):
+            self.checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.checkpoint_every:
+            return
+        commits = self.stats.get("store_commits")
+        if commits - self._commits_at_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+
+    def _submit(self, op: int, key: int, value: int) -> CommitTicket:
+        if key <= 0:
+            raise ValueError("keys must be positive integers")
+        self._ensure_capacity()
+        lsn = self.wal.append(self.view, op, key, value)
+        if op == OP_PUT:
+            self.memtable[key] = value
+        else:
+            self.memtable.pop(key, None)
+        ticket = CommitTicket(lsn)
+        self.probe_point("op_submitted")
+        self.committer.submit(ticket)
+        self._maybe_checkpoint()
+        return ticket
+
+    # ---------------------------------------------------------------- API
+    def put(self, key: int, value: int) -> CommitTicket:
+        if value <= 0:
+            raise ValueError("values must be positive integers")
+        self.stats.inc("store_puts")
+        return self._submit(OP_PUT, key, value)
+
+    def delete(self, key: int) -> CommitTicket:
+        self.stats.inc("store_deletes")
+        return self._submit(OP_DELETE, key, 0)
+
+    def get(self, key: int) -> Optional[int]:
+        self.stats.inc("store_gets")
+        return self.memtable.get(key)
+
+    def sync(self) -> None:
+        """Seal the pending batch (if any); durable on return."""
+        self.committer.commit()
+
+    def checkpoint(self) -> None:
+        """Sync, then compact the committed state into a snapshot."""
+        self.sync()
+        self.checkpointer.checkpoint()
+        self._commits_at_checkpoint = self.stats.get("store_commits")
+
+    # ------------------------------------------------------------ restart
+    def adopt(self, state: RecoveredState) -> None:
+        """Resume from a recovered image (same layout, same regions).
+
+        Erases the stale log tail first: pre-crash records beyond
+        ``applied_lsn`` carry LSNs this instance will hand out again,
+        and a CRC-valid stale record must never satisfy a future
+        replay.  Then seals recovery with a fresh checkpoint so the
+        durable watermark is at ``applied_lsn`` before new traffic.
+        """
+        if self.memtable or self.wal.next_lsn != 1:
+            raise RuntimeError("adopt() requires a fresh store instance")
+        self.memtable = dict(state.items)
+        self.acked_lsn = state.applied_lsn
+        self.initiated_lsn = state.applied_lsn
+        self.watermark = state.checkpoint_lsn
+        self.wal.next_lsn = state.applied_lsn + 1
+        stale = self.layout.log_capacity - (
+            state.applied_lsn - state.checkpoint_lsn
+        )
+        self.wal.invalidate_slots(self.view, state.applied_lsn + 1, stale)
+        self.view.ctx.fence()
+        self.stats.inc("store_fences")
+        self.checkpoint()

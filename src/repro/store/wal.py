@@ -1,0 +1,85 @@
+"""Write-ahead log: append records through a PMemView, seal with CBO.
+
+The WAL only *writes*; making records durable is the group committer's
+job (:mod:`repro.store.commit`), which cleans whole epochs at once.
+Separating append from seal is the point of the exercise: per-record
+flushes are what the paper's fence costs punish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.persist.api import PMemView
+from repro.store.layout import (
+    F_CRC,
+    F_KEY,
+    F_LSN,
+    F_OP,
+    F_VALUE,
+    RECORD_FIELDS,
+    StoreLayout,
+    record_crc,
+)
+
+
+class WriteAheadLog:
+    """Circular log of fixed-size, CRC-protected records."""
+
+    def __init__(self, layout: StoreLayout) -> None:
+        self.layout = layout
+        self.next_lsn = 1
+        self.records_appended = 0
+        self.bytes_appended = 0
+        # test/oracle hook: called as (lsn, op, key, value) on every
+        # append, before any of the record's words hit the cache
+        self.on_append: Optional[Callable[[int, int, int, int], None]] = None
+
+    def append(self, view: PMemView, op: int, key: int, value: int) -> int:
+        """Write one record into the next slot; returns its LSN.
+
+        The LSN field is written *last*: a record is self-identifying
+        only once all its payload words exist in cache.  (Durability
+        still comes only from the CRC — a torn writeback can land the
+        LSN word without the rest, which recovery catches.)
+        """
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        if self.on_append is not None:
+            self.on_append(lsn, op, key, value)
+        index = self.layout.slot_of(lsn)
+        view.write(self.layout.field_addr(index, F_OP), op)
+        view.write(self.layout.field_addr(index, F_KEY), key)
+        view.write(self.layout.field_addr(index, F_VALUE), value)
+        view.write(
+            self.layout.field_addr(index, F_CRC),
+            record_crc(lsn, op, key, value),
+        )
+        view.write(self.layout.field_addr(index, F_LSN), lsn)
+        self.records_appended += 1
+        self.bytes_appended += self.layout.slot_bytes
+        return lsn
+
+    def clean_record(self, view: PMemView, lsn: int) -> None:
+        """Request a non-invalidating writeback of every record word.
+
+        Packed slots share lines, so most of these cleans target a line
+        already cleaned a moment ago — Plain pays for each, Skip It
+        drops the redundant ones at the L1.
+        """
+        index = self.layout.slot_of(lsn)
+        for field in range(RECORD_FIELDS):
+            view.clean(self.layout.field_addr(index, field))
+
+    def invalidate_slots(self, view: PMemView, first_lsn: int, count: int) -> None:
+        """Zero the LSN word of *count* slots starting at *first_lsn*.
+
+        Used by recovery adoption to erase a stale log tail: once the
+        store restarts, pre-crash records beyond the replayed prefix
+        carry LSNs the new instance will reuse, and a CRC-valid stale
+        record in a reused slot must never be replayable.
+        """
+        for lsn in range(first_lsn, first_lsn + count):
+            addr = self.layout.lsn_field_addr(lsn)
+            view.write(addr, 0)
+            view.clean(addr)

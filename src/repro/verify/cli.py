@@ -15,6 +15,13 @@
 3. **Differential fuzzing** — a few seeded cross-model cases
    (``--fuzz N`` runs more; a failing case is shrunk to a minimal
    reproducer and reported with its seed).
+4. **Store crash sweep** — the :mod:`repro.store` durable KV store
+   driven through its crash-point sweep
+   (:class:`~repro.verify.store.StoreCrashSweep`): every optimizer x
+   group-commit {1, 8, 64}, checking at every protocol boundary
+   (including mid-writeback windows) that acknowledged commits survive,
+   nothing beyond the last initiated epoch surfaces, and the recovered
+   state equals the journal prefix.
 
 Exit status: 0 all green, 1 on any oracle violation or model divergence,
 2 when FSM coverage is below the floor (``--floor``, default 90% of
@@ -41,6 +48,7 @@ from repro.verify.injector import (
     SocCrashInjector,
     TimingCrashInjector,
 )
+from repro.verify.store import run_store_sweep
 
 MATRIX_ADDR = 0x10000
 MATRIX_VALUE = 42
@@ -286,6 +294,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures += len(case_failures)
         for failure in case_failures[:1]:
             out.append("       " + failure.summary().replace("\n", "\n       "))
+
+    out.append("== store crash sweep ==")
+    for name, report in run_store_sweep():
+        mark = "ok" if report.ok else "FAIL"
+        out.append(
+            f"  {mark} {name:<28} {report.crash_points} crash points "
+            f"over {report.boundaries} boundaries"
+        )
+        failures += len(report.violations)
+        for violation in report.violations[:3]:
+            out.append(f"       {violation}")
 
     out.append("== fsm coverage ==")
     out.extend("  " + line for line in coverage.report_lines())

@@ -71,6 +71,25 @@ SOC_MUTANTS: Dict[str, str] = {
 }
 
 
+#: store mutants: seeded application-level bugs the store crash sweep
+#: (:class:`repro.verify.store.StoreCrashSweep`) must turn red on.
+#: Inject by passing ``mutants=(name,)`` to the sweep: ack-before-fence
+#: flows into :attr:`DurableStore.mutants`, the replay mutant flips
+#: ``check_lsn=False`` on :func:`repro.store.recovery.recover`.
+STORE_MUTANTS: Dict[str, str] = {
+    "store_ack_before_fence": (
+        "group commit acknowledges its tickets before the epoch's fence "
+        "retires, so a crash in the in-flight writeback window loses "
+        "acknowledged operations"
+    ),
+    "store_replay_trusts_crc": (
+        "log replay trusts the CRC alone and ignores the LSN chain, so "
+        "after the log wraps, stale records from an earlier lap (whose "
+        "CRCs are self-consistent) resurface as fresh commits"
+    ),
+}
+
+
 @contextmanager
 def soc_mutant(name: str) -> Iterator[None]:
     """Patch the cycle-level model with one known bug for the block.

@@ -1,0 +1,278 @@
+"""Store-specific crash-point sweep: the durability contract, checked.
+
+The generic §4 oracle reasons about words and CBO floors; the store
+needs an *application-level* contract on top:
+
+* **No lost commit** — every acknowledged epoch survives any crash:
+  ``recover().applied_lsn >= store.acked_lsn`` at every crash point.
+* **No ghost commit** — recovery never surfaces an epoch whose COMMIT
+  marker was not yet written to cache:
+  ``applied_lsn <= store.initiated_lsn``.  (An *initiated* epoch — its
+  marker exists in cache but its fence has not retired — may legally
+  land early via eviction or an in-flight writeback; acknowledged
+  durability is exactly the fence's promise, not an upper bound.)
+* **Exact prefix state** — the recovered KV map must equal replaying
+  the submitted-operation journal up to ``applied_lsn``: atomic
+  epochs, no torn records applied, no stale resurrections.
+
+The sweep drives a seeded workload through a real
+:class:`~repro.store.store.DurableStore` and evaluates the contract at
+every protocol boundary the store exposes (submit, epoch flush, fence
+retirement, each checkpoint stage).  At the two boundaries with real
+in-flight writeback windows — after an epoch's cleans and after the
+superblock flip — it additionally enumerates a crash at every distinct
+writeback-completion time, so the mid-writeback orderings are checked,
+not just the quiescent images.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.persist.structures.base import persisted_reader
+from repro.store.layout import OP_DELETE, OP_PUT
+from repro.store.recovery import RecoveryError, recover
+from repro.store.store import DurableStore
+from repro.timing.params import TimingParams
+from repro.timing.system import TimingSystem
+from repro.verify.injector import MAX_VIOLATIONS, timing_crash_image
+from repro.verify.oracle import Violation
+
+#: boundaries where writebacks of a just-sealed unit are still in
+#: flight — worth enumerating every completion-time sub-window
+WINDOWED_BOUNDARIES = frozenset({"epoch_flushed", "checkpoint_flipped"})
+
+
+@dataclass
+class StoreSweepReport:
+    """Outcome of one store crash sweep configuration."""
+
+    config: str
+    boundaries: int = 0
+    crash_points: int = 0
+    recoveries: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"store/{self.config}: {self.crash_points} crash points over "
+            f"{self.boundaries} boundaries -> {status}"
+        )
+
+
+class StoreOracle:
+    """Journal of submitted operations + the three contract checks."""
+
+    def __init__(self) -> None:
+        # lsn -> (op, key, value); markers included (op=OP_COMMIT)
+        self.journal: Dict[int, Tuple[int, int, int]] = {}
+
+    def observe(self, lsn: int, op: int, key: int, value: int) -> None:
+        self.journal[lsn] = (op, key, value)
+
+    def reference_state(self, applied_lsn: int) -> Dict[int, int]:
+        """KV state after replaying the journal prefix up to a marker."""
+        state: Dict[int, int] = {}
+        for lsn in sorted(self.journal):
+            if lsn > applied_lsn:
+                break
+            op, key, value = self.journal[lsn]
+            if op == OP_PUT:
+                state[key] = value
+            elif op == OP_DELETE:
+                state.pop(key, None)
+        return state
+
+    def check(
+        self,
+        read,
+        layout,
+        *,
+        acked_lsn: int,
+        initiated_lsn: int,
+        at: object,
+        check_lsn: bool = True,
+    ) -> List[Violation]:
+        try:
+            state = recover(read, layout, check_lsn=check_lsn)
+        except RecoveryError as exc:
+            return [
+                Violation(
+                    kind="unrecoverable",
+                    word=layout.superblock,
+                    detail=str(exc),
+                    at=at,
+                )
+            ]
+        violations: List[Violation] = []
+        if state.applied_lsn < acked_lsn:
+            violations.append(
+                Violation(
+                    kind="lost",
+                    word=layout.lsn_field_addr(acked_lsn),
+                    detail=(
+                        f"acked epoch lsn={acked_lsn} but recovery "
+                        f"applied only lsn={state.applied_lsn} "
+                        f"(stop: {state.stop_reason})"
+                    ),
+                    at=at,
+                )
+            )
+        if state.applied_lsn > initiated_lsn:
+            violations.append(
+                Violation(
+                    kind="ghost",
+                    word=layout.lsn_field_addr(state.applied_lsn),
+                    detail=(
+                        f"recovery applied lsn={state.applied_lsn} beyond "
+                        f"the last initiated epoch lsn={initiated_lsn}"
+                    ),
+                    at=at,
+                )
+            )
+        reference = self.reference_state(state.applied_lsn)
+        if state.items != reference:
+            missing = sorted(set(reference) - set(state.items))[:4]
+            extra = sorted(set(state.items) - set(reference))[:4]
+            wrong = sorted(
+                k
+                for k in set(reference) & set(state.items)
+                if reference[k] != state.items[k]
+            )[:4]
+            violations.append(
+                Violation(
+                    kind="corrupt",
+                    word=layout.log_base,
+                    detail=(
+                        f"recovered state != journal prefix at "
+                        f"lsn={state.applied_lsn}: missing={missing} "
+                        f"extra={extra} wrong={wrong}"
+                    ),
+                    at=at,
+                )
+            )
+        return violations
+
+
+class StoreCrashSweep:
+    """Drive one (optimizer, group-commit) config through a crash sweep."""
+
+    def __init__(
+        self,
+        optimizer: str = "skipit",
+        group_commit: int = 8,
+        *,
+        ops: int = 48,
+        seed: int = 0,
+        log_capacity: Optional[int] = None,
+        checkpoint_every: int = 3,
+        num_buckets: int = 16,
+        key_range: int = 24,
+        mutants: Sequence[str] = (),
+    ) -> None:
+        self.optimizer = optimizer
+        self.group_commit = group_commit
+        self.ops = ops
+        self.seed = seed
+        # the log must hold a full batch; small enough that long sweeps
+        # wrap (wrap + stale-tail handling is part of what we verify)
+        self.log_capacity = log_capacity or max(40, 2 * group_commit + 8)
+        self.checkpoint_every = checkpoint_every
+        self.num_buckets = num_buckets
+        self.key_range = key_range
+        self.mutants = tuple(mutants)
+
+    def run(self) -> StoreSweepReport:
+        report = StoreSweepReport(
+            config=f"{self.optimizer}/gc={self.group_commit}"
+        )
+        params = TimingParams(
+            num_threads=1, skip_it=(self.optimizer == "skipit")
+        )
+        system = TimingSystem(params)
+        heap = SimHeap(params.line_bytes)
+        view = PMemView(
+            system.threads[0],
+            make_policy("none"),
+            make_optimizer(self.optimizer, heap),
+        )
+        store = DurableStore(
+            heap,
+            view,
+            log_capacity=self.log_capacity,
+            batch_size=self.group_commit,
+            checkpoint_every=self.checkpoint_every,
+            num_buckets=self.num_buckets,
+        )
+        oracle = StoreOracle()
+        store.wal.on_append = oracle.observe
+        check_lsn = "store_replay_trusts_crc" not in self.mutants
+        store.mutants.update(
+            m for m in self.mutants if m != "store_replay_trusts_crc"
+        )
+
+        def probe(name: str) -> None:
+            report.boundaries += 1
+            if len(report.violations) >= MAX_VIOLATIONS:
+                return
+            ats: List[Optional[int]] = [None]
+            if name in WINDOWED_BOUNDARIES:
+                ats.extend(sorted({wb.done for wb in system.in_flight}))
+            for at in ats:
+                report.crash_points += 1
+                report.recoveries += 1
+                image = timing_crash_image(system, at=at)
+                report.violations.extend(
+                    oracle.check(
+                        persisted_reader(image),
+                        store.layout,
+                        acked_lsn=store.acked_lsn,
+                        initiated_lsn=store.initiated_lsn,
+                        at=f"{name}@{'now' if at is None else at}",
+                        check_lsn=check_lsn,
+                    )[: MAX_VIOLATIONS - len(report.violations)]
+                )
+
+        store.probe = probe
+        rng = random.Random(self.seed)
+        next_value = 1
+        for _ in range(self.ops):
+            key = rng.randint(1, self.key_range)
+            if rng.random() < 0.7:
+                store.put(key, 1_000_000 + next_value)
+                next_value += 1
+            else:
+                store.delete(key)
+        store.sync()
+        store.checkpoint()
+        return report
+
+
+def run_store_sweep(
+    optimizers: Sequence[str] = ("plain", "flit-adjacent", "flit-hashtable", "link-and-persist", "skipit"),
+    group_commits: Sequence[int] = (1, 8, 64),
+    *,
+    ops: int = 48,
+    seed: int = 0,
+) -> List[Tuple[str, StoreSweepReport]]:
+    """The full optimizer x batch-size store sweep (verify CLI stage)."""
+    results = []
+    for optimizer in optimizers:
+        for group_commit in group_commits:
+            sweep = StoreCrashSweep(
+                optimizer, group_commit, ops=ops, seed=seed
+            )
+            report = sweep.run()
+            results.append((report.config, report))
+    return results

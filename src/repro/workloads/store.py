@@ -1,0 +1,177 @@
+"""Durable-store throughput driver (the group-commit figure).
+
+Runs per-thread :class:`~repro.store.store.DurableStore` shards (one
+log + memtable per thread, all on one shared cache hierarchy) under a
+mixed put/delete/get workload on virtual-time threads, and reports
+throughput plus the persistence traffic the sweep is about: fences,
+CBOs issued vs skipped, log bytes, commit batches.
+
+The store runs with the ``none`` policy — it does its own cleans and
+fences (that is the subsystem's job); an automatic policy on top would
+double-flush every log write and bury the group-commit signal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.attach import store_registry, timing_registry
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.store.store import DurableStore
+from repro.timing.params import TimingParams
+from repro.timing.scheduler import VirtualTimeScheduler
+from repro.timing.system import TimingSystem
+
+
+@dataclass
+class StoreResult:
+    """Outcome of one (optimizer, group-commit) store cell."""
+
+    optimizer: str
+    group_commit: int
+    threads: int
+    total_ops: int
+    elapsed_cycles: int
+    throughput_mops: float
+    fences: int
+    cbo_issued: int
+    cbo_skipped: int
+    wal_records: int
+    wal_bytes: int
+    commits: int
+    checkpoints: int
+    mean_batch: float
+    flush_requests: int
+    #: ``timing.*`` + per-shard ``store.*`` metrics snapshot
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+class StoreBenchmark:
+    """One configured durable-store throughput experiment."""
+
+    def __init__(
+        self,
+        optimizer: str,
+        group_commit: int,
+        threads: int = 2,
+        key_range: int = 256,
+        log_capacity: int = 256,
+        num_buckets: int = 64,
+        flit_table_entries: int = 1024,
+        skip_it: Optional[bool] = None,
+        seed: int = 12345,
+    ) -> None:
+        self.optimizer_name = optimizer
+        self.group_commit = group_commit
+        self.threads = threads
+        self.key_range = key_range
+        self.log_capacity = log_capacity
+        self.num_buckets = num_buckets
+        self.flit_table_entries = flit_table_entries
+        # as in the structure benchmarks: the skip bit exists only when
+        # benchmarking the skipit filter
+        self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.seed = seed
+
+    def run(self, duration: int = 200_000) -> StoreResult:
+        params = TimingParams(num_threads=self.threads, skip_it=self.skip_it)
+        system = TimingSystem(params)
+        heap = SimHeap(line_bytes=params.line_bytes)
+        optimizer = make_optimizer(
+            self.optimizer_name, heap, self.flit_table_entries
+        )
+        policy = make_policy("none")
+        stores = [
+            DurableStore(
+                heap,
+                PMemView(ctx, policy, optimizer),
+                log_capacity=self.log_capacity,
+                batch_size=self.group_commit,
+                num_buckets=self.num_buckets,
+            )
+            for ctx in system.threads[: self.threads]
+        ]
+
+        # Prefill each shard to ~50% occupancy and checkpoint, so
+        # measurement starts from a durable steady state with a warm
+        # log tail; the prefill's own traffic is then discarded.
+        rng = random.Random(self.seed)
+        for store in stores:
+            for key in rng.sample(
+                range(1, self.key_range + 1), self.key_range // 2
+            ):
+                store.put(key, key + self.key_range)
+            store.checkpoint()
+        system.persist_all()
+        optimizer.declare_persisted(system)
+        system.stats.reset()
+        for store in stores:
+            store.stats.reset()
+            store.batch_sizes = type(store.batch_sizes)()
+            store.wal.records_appended = 0
+            store.wal.bytes_appended = 0
+            store.view.flush_requests = 0
+            store.view.ctx.now = 0
+            store.view.ctx.outstanding.clear()
+
+        steps = [
+            self._make_step(store, self.seed + 7 * tid)
+            for tid, store in enumerate(stores)
+        ]
+        scheduler = VirtualTimeScheduler(system)
+        result = scheduler.run(steps, duration=duration, warmup=0)
+        for store in stores:
+            store.sync()
+
+        stats = system.stats.as_dict()
+        registry = timing_registry(system)
+        snapshot = registry.snapshot()
+        for tid, store in enumerate(stores):
+            snapshot[f"store.t{tid}"] = store_registry(store).snapshot()
+
+        def total(name: str) -> int:
+            return sum(s.stats.get(name) for s in stores)
+
+        batches = [b for s in stores for b in s.batch_sizes.samples]
+        return StoreResult(
+            optimizer=self.optimizer_name,
+            group_commit=self.group_commit,
+            threads=self.threads,
+            total_ops=result.total_ops,
+            elapsed_cycles=result.elapsed,
+            throughput_mops=result.throughput() / 1e6,
+            fences=total("store_fences"),
+            cbo_issued=stats.get("cbo_issued", 0),
+            cbo_skipped=stats.get("cbo_skipped", 0),
+            wal_records=sum(s.wal.records_appended for s in stores),
+            wal_bytes=sum(s.wal.bytes_appended for s in stores),
+            commits=total("store_commits"),
+            checkpoints=total("store_checkpoints"),
+            mean_batch=(sum(batches) / len(batches)) if batches else 0.0,
+            flush_requests=sum(s.view.flush_requests for s in stores),
+            metrics=snapshot,
+        )
+
+    def _make_step(self, store: DurableStore, seed: int):
+        rng = random.Random(seed)
+        key_range = self.key_range
+        next_value = key_range * 2
+
+        def step(ctx) -> None:
+            nonlocal next_value
+            r = rng.random()
+            key = rng.randint(1, key_range)
+            if r < 0.6:
+                next_value += 1
+                store.put(key, next_value)
+            elif r < 0.8:
+                store.delete(key)
+            else:
+                store.get(key)
+
+        return step

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.bench import FIGURES, MICRO_FIGURES, THROUGHPUT_FIGURES, baseline
+from repro.bench import (
+    FIGURES,
+    MICRO_FIGURES,
+    STORE_FIGURES,
+    THROUGHPUT_FIGURES,
+    baseline,
+)
 from repro.bench.micro import MicroRow
 from repro.bench.runner import (
     BenchPoint,
@@ -182,8 +188,11 @@ class TestBaseline:
 
 class TestCliDispatch:
     def test_row_type_sets_partition_all_figures(self):
-        assert MICRO_FIGURES | THROUGHPUT_FIGURES == set(FIGURES)
+        assert MICRO_FIGURES | THROUGHPUT_FIGURES | STORE_FIGURES == set(
+            FIGURES
+        )
         assert not MICRO_FIGURES & THROUGHPUT_FIGURES
+        assert not STORE_FIGURES & (MICRO_FIGURES | THROUGHPUT_FIGURES)
 
     def test_empty_micro_figure_prints_micro_header(self, monkeypatch, capsys):
         """Empty row lists must still dispatch on the figure's row type."""

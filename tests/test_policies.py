@@ -85,6 +85,21 @@ class TestPMemView:
         view.op_end()
         assert system.stats.get("fences") == 1
 
+    def test_nvtraverse_critical_read_flushes(self):
+        view, system = view_for(NVTraverse())
+        view.ctx.store(0x40, 1)
+        view.read(0x40)  # traversal read: no flush
+        assert view.flush_requests == 0
+        view.read(0x40, critical=True)
+        assert view.flush_requests == 1
+        assert system.stats.get("cbo_issued") == 1
+
+    def test_automatic_critical_read_flushes(self):
+        view, system = view_for(Automatic())
+        view.ctx.store(0x40, 1)
+        view.read(0x40, critical=True)
+        assert view.flush_requests == 1
+
     def test_cas_failure_is_not_an_update(self):
         view, system = view_for(Manual())
         view.ctx.store(0x40, 5)
@@ -92,6 +107,24 @@ class TestPMemView:
         assert not view.cas(0x40, 99, 1)
         view.op_end()
         assert system.stats.get("fences") == 0
+
+    def test_cas_failure_never_flushes_or_marks_update(self):
+        # even under the most aggressive policy a failed CAS must not
+        # flush (nothing changed) nor arm the op-end fence
+        view, system = view_for(Automatic())
+        view.ctx.store(0x40, 5)
+        view.op_begin()
+        assert not view.cas(0x40, 99, 1)
+        assert view.flush_requests == 0
+        assert not view._did_update
+        assert view.read(0x40) == 5  # value untouched
+
+    def test_clean_counts_as_flush_request(self):
+        view, system = view_for(Manual())
+        view.ctx.store(0x40, 5)
+        view.clean(0x40)
+        assert view.flush_requests == 1
+        assert system.stats.get("cbo_issued") == 1
 
     def test_cas_success_flushes_and_fences(self):
         view, system = view_for(Manual())

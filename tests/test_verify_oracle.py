@@ -18,11 +18,13 @@ from repro.uarch.soc import Soc
 from repro.verify.injector import SocCrashInjector, TimingCrashInjector
 from repro.verify.mutants import (
     SOC_MUTANTS,
+    STORE_MUTANTS,
     TIMING_MUTANTS,
     soc_mutant,
     timing_mutant,
 )
 from repro.verify.oracle import DurabilityOracle, WordHistory
+from repro.verify.store import StoreCrashSweep
 
 ADDR = 0x10000
 
@@ -149,6 +151,37 @@ class TestSocMutantsCaught:
     @pytest.mark.parametrize("mutant", sorted(SOC_MUTANTS))
     def test_unmutated_run_is_green(self, mutant):
         report = SocCrashInjector(Soc()).run(self._programs(mutant))
+        assert report.ok, report.summary()
+
+
+#: violation kinds each store mutant must produce somewhere in the sweep
+STORE_EXPECTED_KIND = {
+    "store_ack_before_fence": "lost",
+    "store_replay_trusts_crc": "ghost",  # stale markers replay as fresh
+}
+
+
+class TestStoreMutantsCaught:
+    """The store crash sweep's own false-negative guarantee.
+
+    ``ops=60`` guarantees the log wraps (capacity defaults to ~40
+    slots), which the replay mutant needs: only a wrapped log leaves
+    CRC-valid stale records in the replay path.
+    """
+
+    @pytest.mark.parametrize("mutant", sorted(STORE_MUTANTS))
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_mutant_turns_sweep_red(self, mutant, optimizer):
+        report = StoreCrashSweep(
+            optimizer, group_commit=8, ops=60, mutants=(mutant,)
+        ).run()
+        assert not report.ok, f"{mutant} not caught on {optimizer}"
+        kinds = {violation.kind for violation in report.violations}
+        assert STORE_EXPECTED_KIND[mutant] in kinds, report.violations
+
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_unmutated_sweep_is_green(self, optimizer):
+        report = StoreCrashSweep(optimizer, group_commit=8, ops=60).run()
         assert report.ok, report.summary()
 
 
