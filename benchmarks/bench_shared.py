@@ -1,0 +1,73 @@
+"""Figure 18: shared-log store — fences/op and ack latency vs threads.
+
+Not a paper figure — the claims under test are the shared subsystem's
+reason to exist: one leader fence covers every thread's records, so
+fences per op fall as threads share an epoch (where the sharded fig-17
+baseline holds them flat), and the price is a cross-thread ack latency
+that grows with the epoch the op waits on.
+"""
+
+import pytest
+
+from repro.bench.shared import run_fig18
+from repro.bench.store import run_fig17
+
+
+@pytest.mark.figure(18)
+def test_fig18_threads_amortize_the_fence(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig18(
+            quick=True,
+            optimizers=["plain"],
+            threads=[1, 2, 4],
+            duration=30_000,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fpo = {r.threads: r.fences_per_kop for r in rows}
+    assert_shape(
+        fpo[1] > 1.5 * fpo[2] > 2 * fpo[4],
+        f"fences/op falls roughly with thread count: {fpo}",
+    )
+    ack = {r.threads: r.ack_p50 for r in rows}
+    assert_shape(
+        ack[4] > ack[1] > 0,
+        f"the amortized fence is paid in ack latency: {ack}",
+    )
+    for r in rows:
+        assert_shape(
+            r.ack_p99 >= r.ack_p50,
+            f"t={r.threads}: percentiles ordered",
+        )
+
+
+@pytest.mark.figure(18)
+def test_fig18_shared_beats_sharded_on_fences(benchmark, assert_shape):
+    def run():
+        shared = run_fig18(
+            quick=True,
+            optimizers=["skipit"],
+            threads=[4],
+            duration=30_000,
+            seed=7,
+        )
+        sharded = run_fig17(
+            quick=True,
+            optimizers=["skipit"],
+            group_commits=[8],
+            threads=4,
+            duration=30_000,
+            seed=7,
+        )
+        return shared, sharded
+
+    shared, sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+    shared_fpo = shared[0].fences * 1000 / shared[0].wal_records
+    sharded_fpo = sharded[0].fences * 1000 / sharded[0].wal_records
+    assert_shape(
+        shared_fpo < sharded_fpo,
+        f"shared log fences/krec {shared_fpo:.1f} below sharded "
+        f"{sharded_fpo:.1f} at t=4, gc=8",
+    )

@@ -36,6 +36,17 @@ STORE_VALUE_FIELDS = (
     "wal_records",
     "commits",
 )
+SHARED_STORE_VALUE_FIELDS = (
+    "throughput_mops",
+    "fences",
+    "fences_per_kop",
+    "ack_p50",
+    "ack_p99",
+    "cbo_issued",
+    "cbo_skipped",
+    "wal_records",
+    "commits",
+)
 #: default relative tolerance band for --check
 DEFAULT_REL_TOL = 0.02
 
@@ -44,6 +55,12 @@ def _row_key(row: Mapping[str, object]) -> str:
     """Stable identity of a row within its figure (kind-aware)."""
     if "series" in row:  # MicroRow
         return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
+    if "ack_p50" in row:  # SharedStoreRow (checked before StoreRow: both
+        # carry group_commit)
+        return (
+            f"shared|{row['optimizer']}|t={row['threads']}"
+            f"|gc={row['group_commit']}"
+        )
     if "group_commit" in row:  # StoreRow
         return (
             f"store|{row['optimizer']}|gc={row['group_commit']}"
@@ -140,6 +157,8 @@ def check(
             cur, base = cur_rows[key], base_rows[key]
             if "series" in cur:
                 fields = MICRO_VALUE_FIELDS
+            elif "ack_p50" in cur:
+                fields = SHARED_STORE_VALUE_FIELDS
             elif "group_commit" in cur:
                 fields = STORE_VALUE_FIELDS
             else:

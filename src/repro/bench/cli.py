@@ -15,9 +15,16 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.bench import FIGURES, MICRO_FIGURES, STORE_FIGURES, baseline
+from repro.bench import (
+    FIGURES,
+    MICRO_FIGURES,
+    SHARED_STORE_FIGURES,
+    STORE_FIGURES,
+    baseline,
+)
 from repro.bench.format import format_table, human_size
 from repro.bench.micro import MicroRow
+from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
 
@@ -102,6 +109,38 @@ def _print_store(rows: List[StoreRow]) -> None:
     )
 
 
+def _print_shared(rows: List[SharedStoreRow]) -> None:
+    print(
+        format_table(
+            [
+                "optimizer",
+                "threads",
+                "gc",
+                "Mops/s",
+                "fences/kop",
+                "ack p50",
+                "ack p99",
+                "takeovers",
+                "mean batch",
+            ],
+            [
+                (
+                    r.optimizer,
+                    r.threads,
+                    r.group_commit,
+                    r.throughput_mops,
+                    round(r.fences_per_kop, 2),
+                    r.ack_p50,
+                    r.ack_p99,
+                    r.leader_takeovers,
+                    round(r.mean_batch, 2),
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skipit-bench",
@@ -173,6 +212,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_micro(run.rows)
         elif fig in STORE_FIGURES:
             _print_store(run.rows)
+        elif fig in SHARED_STORE_FIGURES:
+            _print_shared(run.rows)
         else:
             _print_throughput(run.rows)
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")

@@ -10,9 +10,15 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.bench import FIGURES, MICRO_FIGURES, STORE_FIGURES
+from repro.bench import (
+    FIGURES,
+    MICRO_FIGURES,
+    SHARED_STORE_FIGURES,
+    STORE_FIGURES,
+)
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
+from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
 
@@ -26,6 +32,8 @@ _FIGURE_TITLES = {
     15: "throughput vs update percentage (§7.4)",
     16: "BST vs FliT hash-table size (§7.4)",
     17: "durable store: throughput vs group-commit x optimizer (repro.store)",
+    18: "shared-log store: fences/op and ack latency vs threads "
+    "(repro.store.shared)",
 }
 
 
@@ -84,6 +92,36 @@ def _render_store(rows: List[StoreRow]) -> str:
                 r.cbo_issued,
                 r.cbo_skipped,
                 r.wal_records,
+                r.mean_batch,
+            )
+            for r in rows
+        ],
+    )
+
+
+def _render_shared(rows: List[SharedStoreRow]) -> str:
+    return _markdown_table(
+        [
+            "optimizer",
+            "threads",
+            "gc",
+            "Mops/s",
+            "fences/kop",
+            "ack p50",
+            "ack p99",
+            "takeovers",
+            "mean batch",
+        ],
+        [
+            (
+                r.optimizer,
+                r.threads,
+                r.group_commit,
+                r.throughput_mops,
+                r.fences_per_kop,
+                r.ack_p50,
+                r.ack_p99,
+                r.leader_takeovers,
                 r.mean_batch,
             )
             for r in rows
@@ -179,6 +217,11 @@ def build_report(
             sections.append(_render_micro(rows))
         elif fig in STORE_FIGURES:
             sections.append(_render_store(rows))
+            summary = _render_metrics_summary(rows)
+            if summary:
+                sections.append(summary)
+        elif fig in SHARED_STORE_FIGURES:
+            sections.append(_render_shared(rows))
             summary = _render_metrics_summary(rows)
             if summary:
                 sections.append(summary)

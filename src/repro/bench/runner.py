@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.micro import sweep_axes as micro_axes
+from repro.bench.shared import sweep_axes as shared_store_axes
 from repro.bench.store import sweep_axes as store_axes
 from repro.bench.structures import sweep_axes as throughput_axes
 
@@ -187,6 +188,16 @@ def decompose(figure: int, quick: bool = False) -> List[BenchPoint]:
                     seeded=True,
                     optimizers=(optimizer,),
                     group_commits=(group_commit,),
+                )
+    elif figure == 18:
+        axes = shared_store_axes(18, quick)
+        for optimizer in axes["optimizers"]:
+            for t in axes["threads"]:
+                add(
+                    f"{optimizer},t={t}",
+                    seeded=True,
+                    optimizers=(optimizer,),
+                    threads=(t,),
                 )
     else:
         raise KeyError(f"unknown figure {figure}")

@@ -89,6 +89,14 @@ class Histogram:
         idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return float(ordered[idx])
 
+    def p50(self) -> float:
+        """Median as a percentile (the latency-metric convention)."""
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        """Tail latency; equals the max for histograms under 100 samples."""
+        return self.percentile(99.0)
+
     def summary(self) -> Dict[str, float]:
         """Summary statistics dict; all zeros (not an error) when empty.
 

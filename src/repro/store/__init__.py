@@ -16,6 +16,9 @@ key-value store built from the repo's own primitives:
 * :mod:`repro.store.recovery` — superblock → checkpoint → log replay,
   tolerant of torn / invalid-CRC tail records.
 * :mod:`repro.store.store` — :class:`DurableStore`, tying it together.
+* :mod:`repro.store.shared` — :class:`SharedLogStore`: N threads on one
+  shared WAL (CAS-reserved slots), epochs sealed by a leader with one
+  cross-thread fence, ack latency as the headline metric.
 """
 
 from repro.store.layout import (
@@ -27,11 +30,21 @@ from repro.store.layout import (
     record_crc,
 )
 from repro.store.recovery import RecoveredState, RecoveryError, recover
+from repro.store.shared import (
+    EpochSealer,
+    SharedCommitTicket,
+    SharedLogStore,
+    SharedWriteAheadLog,
+)
 from repro.store.store import CommitTicket, DurableStore
 
 __all__ = [
     "CommitTicket",
     "DurableStore",
+    "EpochSealer",
+    "SharedCommitTicket",
+    "SharedLogStore",
+    "SharedWriteAheadLog",
     "OP_COMMIT",
     "OP_DELETE",
     "OP_PUT",

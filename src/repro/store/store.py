@@ -159,6 +159,22 @@ class DurableStore:
         self.checkpointer.checkpoint()
         self._commits_at_checkpoint = self.stats.get("store_commits")
 
+    def reset_measurement(self) -> None:
+        """Zero every measurement-facing counter and the thread clock.
+
+        Benchmarks prefill and checkpoint before measuring; this discards
+        the prefill's traffic (stats, WAL counters, flush requests) and
+        rewinds the virtual clock so throughput starts from cycle zero.
+        Durable state (log, memtable, LSNs) is untouched.
+        """
+        self.stats.reset()
+        self.batch_sizes = Histogram()
+        self.wal.records_appended = 0
+        self.wal.bytes_appended = 0
+        self.view.flush_requests = 0
+        self.view.ctx.now = 0
+        self.view.ctx.outstanding.clear()
+
     # ------------------------------------------------------------ restart
     def adopt(self, state: RecoveredState) -> None:
         """Resume from a recovered image (same layout, same regions).

@@ -35,6 +35,17 @@ class WriteAheadLog:
         # append, before any of the record's words hit the cache
         self.on_append: Optional[Callable[[int, int, int, int], None]] = None
 
+    def reserve(self, view: PMemView) -> int:
+        """Claim the next slot; returns its LSN.
+
+        The private-log base case is plain bookkeeping; the shared log
+        (:class:`repro.store.shared.SharedWriteAheadLog`) overrides this
+        with a CAS-bumped tail word on the shared cache hierarchy.
+        """
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        return lsn
+
     def append(self, view: PMemView, op: int, key: int, value: int) -> int:
         """Write one record into the next slot; returns its LSN.
 
@@ -43,8 +54,7 @@ class WriteAheadLog:
         still comes only from the CRC — a torn writeback can land the
         LSN word without the rest, which recovery catches.)
         """
-        lsn = self.next_lsn
-        self.next_lsn += 1
+        lsn = self.reserve(view)
         if self.on_append is not None:
             self.on_append(lsn, op, key, value)
         index = self.layout.slot_of(lsn)

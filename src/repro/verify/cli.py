@@ -1,6 +1,6 @@
 """``python -m repro.verify`` — the verification harness entry point.
 
-``--smoke`` (the default, also the CI gate) runs three stages:
+``--smoke`` (the default, also the CI gate) runs five stages:
 
 1. **Timing crash-point matrix** — {clean, flush} x dirty-in-{own L1,
    other L1, L2, victim L3} x Skip It on/off through
@@ -22,6 +22,11 @@
    (including mid-writeback windows) that acknowledged commits survive,
    nothing beyond the last initiated epoch surfaces, and the recovered
    state equals the journal prefix.
+5. **Shared-log crash sweep** — the same contract over
+   :class:`~repro.verify.store.SharedStoreCrashSweep`: N threads
+   interleaving appends into one shared WAL, epochs sealed by a leader
+   whose single fence must cover every thread's records; crashes at
+   every seal boundary and writeback-completion window.
 
 Exit status: 0 all green, 1 on any oracle violation or model divergence,
 2 when FSM coverage is below the floor (``--floor``, default 90% of
@@ -48,7 +53,7 @@ from repro.verify.injector import (
     SocCrashInjector,
     TimingCrashInjector,
 )
-from repro.verify.store import run_store_sweep
+from repro.verify.store import run_shared_store_sweep, run_store_sweep
 
 MATRIX_ADDR = 0x10000
 MATRIX_VALUE = 42
@@ -297,6 +302,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out.append("== store crash sweep ==")
     for name, report in run_store_sweep():
+        mark = "ok" if report.ok else "FAIL"
+        out.append(
+            f"  {mark} {name:<28} {report.crash_points} crash points "
+            f"over {report.boundaries} boundaries"
+        )
+        failures += len(report.violations)
+        for violation in report.violations[:3]:
+            out.append(f"       {violation}")
+
+    out.append("== shared-log crash sweep ==")
+    for name, report in run_shared_store_sweep():
         mark = "ok" if report.ok else "FAIL"
         out.append(
             f"  {mark} {name:<28} {report.crash_points} crash points "

@@ -90,6 +90,20 @@ STORE_MUTANTS: Dict[str, str] = {
 }
 
 
+#: shared-log mutants: seeded bugs the *shared* crash sweep
+#: (:class:`repro.verify.store.SharedStoreCrashSweep`) must turn red on.
+#: Same injection path (``mutants=(name,)`` on the sweep, flowing into
+#: :attr:`SharedLogStore.mutants`).
+SHARED_STORE_MUTANTS: Dict[str, str] = {
+    "shared_ack_before_fence": (
+        "the sealing leader acknowledges the *other* threads' tickets "
+        "before its fence retires — as if its fence only covered its own "
+        "records — so a crash in the epoch's in-flight writeback window "
+        "loses acknowledged follower updates"
+    ),
+}
+
+
 @contextmanager
 def soc_mutant(name: str) -> Iterator[None]:
     """Patch the cycle-level model with one known bug for the block.

@@ -38,6 +38,7 @@ from repro.persist.policies import make_policy
 from repro.persist.structures.base import persisted_reader
 from repro.store.layout import OP_DELETE, OP_PUT
 from repro.store.recovery import RecoveryError, recover
+from repro.store.shared import SharedLogStore
 from repro.store.store import DurableStore
 from repro.timing.params import TimingParams
 from repro.timing.system import TimingSystem
@@ -257,6 +258,139 @@ class StoreCrashSweep:
         store.sync()
         store.checkpoint()
         return report
+
+
+class SharedStoreCrashSweep:
+    """Crash-sweep one (optimizer, group-commit) shared-log config.
+
+    Same contract and oracle as :class:`StoreCrashSweep`, but the
+    journal is written by N virtual-time threads interleaving their
+    appends into one :class:`~repro.store.shared.SharedLogStore` —
+    round-robin here, which still exercises cross-thread sealing because
+    the epoch trigger lands on different threads as epochs and the
+    leader-grace deferrals drift.  The CAS-bumped tail makes global LSN
+    order the submission order, so the journal-prefix oracle applies to
+    the interleaved log unchanged; what is *new* under test is that the
+    sealing thread's single fence really covers records written (and
+    left dirty) by every other thread's L1.
+    """
+
+    def __init__(
+        self,
+        optimizer: str = "skipit",
+        group_commit: int = 8,
+        *,
+        threads: int = 3,
+        ops: int = 48,
+        seed: int = 0,
+        log_capacity: Optional[int] = None,
+        checkpoint_every: int = 3,
+        num_buckets: int = 16,
+        key_range: int = 24,
+        mutants: Sequence[str] = (),
+    ) -> None:
+        self.optimizer = optimizer
+        self.group_commit = group_commit
+        self.threads = threads
+        self.ops = ops
+        self.seed = seed
+        self.log_capacity = log_capacity or max(
+            48, 2 * group_commit * threads + 2 * threads + 8
+        )
+        self.checkpoint_every = checkpoint_every
+        self.num_buckets = num_buckets
+        self.key_range = key_range
+        self.mutants = tuple(mutants)
+
+    def run(self) -> StoreSweepReport:
+        report = StoreSweepReport(
+            config=(
+                f"shared/{self.optimizer}/gc={self.group_commit}"
+                f"/t={self.threads}"
+            )
+        )
+        params = TimingParams(
+            num_threads=self.threads, skip_it=(self.optimizer == "skipit")
+        )
+        system = TimingSystem(params)
+        heap = SimHeap(params.line_bytes)
+        policy = make_policy("none")
+        optimizer = make_optimizer(self.optimizer, heap)
+        views = [
+            PMemView(ctx, policy, optimizer)
+            for ctx in system.threads[: self.threads]
+        ]
+        store = SharedLogStore(
+            heap,
+            views,
+            log_capacity=self.log_capacity,
+            batch_size=self.group_commit,
+            checkpoint_every=self.checkpoint_every,
+            num_buckets=self.num_buckets,
+        )
+        oracle = StoreOracle()
+        store.wal.on_append = oracle.observe
+        check_lsn = "store_replay_trusts_crc" not in self.mutants
+        store.mutants.update(
+            m for m in self.mutants if m != "store_replay_trusts_crc"
+        )
+
+        def probe(name: str) -> None:
+            report.boundaries += 1
+            if len(report.violations) >= MAX_VIOLATIONS:
+                return
+            ats: List[Optional[int]] = [None]
+            if name in WINDOWED_BOUNDARIES:
+                ats.extend(sorted({wb.done for wb in system.in_flight}))
+            for at in ats:
+                report.crash_points += 1
+                report.recoveries += 1
+                image = timing_crash_image(system, at=at)
+                report.violations.extend(
+                    oracle.check(
+                        persisted_reader(image),
+                        store.layout,
+                        acked_lsn=store.acked_lsn,
+                        initiated_lsn=store.initiated_lsn,
+                        at=f"{name}@{'now' if at is None else at}",
+                        check_lsn=check_lsn,
+                    )[: MAX_VIOLATIONS - len(report.violations)]
+                )
+
+        store.probe = probe
+        rng = random.Random(self.seed)
+        next_value = 1
+        for i in range(self.ops):
+            tid = i % self.threads
+            key = rng.randint(1, self.key_range)
+            if rng.random() < 0.7:
+                store.put(tid, key, 1_000_000 + next_value)
+                next_value += 1
+            else:
+                store.delete(tid, key)
+        store.sync()
+        store.checkpoint()
+        return report
+
+
+def run_shared_store_sweep(
+    optimizers: Sequence[str] = ("plain", "flit-adjacent", "flit-hashtable", "link-and-persist", "skipit"),
+    group_commits: Sequence[int] = (1, 8, 64),
+    *,
+    threads: int = 3,
+    ops: int = 48,
+    seed: int = 0,
+) -> List[Tuple[str, StoreSweepReport]]:
+    """The optimizer x batch-size shared-log sweep (verify CLI stage)."""
+    results = []
+    for optimizer in optimizers:
+        for group_commit in group_commits:
+            sweep = SharedStoreCrashSweep(
+                optimizer, group_commit, threads=threads, ops=ops, seed=seed
+            )
+            report = sweep.run()
+            results.append((report.config, report))
+    return results
 
 
 def run_store_sweep(

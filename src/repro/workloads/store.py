@@ -17,11 +17,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.obs.attach import store_registry, timing_registry
+from repro.obs.attach import shared_store_registry, store_registry, timing_registry
 from repro.persist.api import PMemView
 from repro.persist.flushopt import make_optimizer
 from repro.persist.heap import SimHeap
 from repro.persist.policies import make_policy
+from repro.store.shared import SharedLogStore
 from repro.store.store import DurableStore
 from repro.timing.params import TimingParams
 from repro.timing.scheduler import VirtualTimeScheduler
@@ -111,13 +112,7 @@ class StoreBenchmark:
         optimizer.declare_persisted(system)
         system.stats.reset()
         for store in stores:
-            store.stats.reset()
-            store.batch_sizes = type(store.batch_sizes)()
-            store.wal.records_appended = 0
-            store.wal.bytes_appended = 0
-            store.view.flush_requests = 0
-            store.view.ctx.now = 0
-            store.view.ctx.outstanding.clear()
+            store.reset_measurement()
 
         steps = [
             self._make_step(store, self.seed + 7 * tid)
@@ -173,5 +168,159 @@ class StoreBenchmark:
                 store.delete(key)
             else:
                 store.get(key)
+
+        return step
+
+
+@dataclass
+class SharedStoreResult:
+    """Outcome of one (optimizer, threads) shared-log store cell."""
+
+    optimizer: str
+    group_commit: int
+    threads: int
+    total_ops: int
+    elapsed_cycles: int
+    throughput_mops: float
+    fences: int
+    fences_per_kop: float
+    ack_p50: float
+    ack_p99: float
+    cbo_issued: int
+    cbo_skipped: int
+    wal_records: int
+    wal_bytes: int
+    commits: int
+    checkpoints: int
+    leader_takeovers: int
+    mean_batch: float
+    flush_requests: int
+    #: ``timing.*`` + ``store.shared.*`` metrics snapshot
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+class SharedStoreBenchmark:
+    """One configured shared-log store experiment (figure 18).
+
+    Same mixed put/delete/get workload as :class:`StoreBenchmark`, but
+    all threads append into one :class:`~repro.store.shared.SharedLogStore`
+    instead of private shards — ``group_commit`` ops per thread are
+    sealed by one leader fence, and each thread's submit→durable cycles
+    land in the ack-latency histograms the figure reports.
+    """
+
+    def __init__(
+        self,
+        optimizer: str,
+        group_commit: int,
+        threads: int = 2,
+        key_range: int = 256,
+        log_capacity: int = 512,
+        num_buckets: int = 64,
+        flit_table_entries: int = 1024,
+        skip_it: Optional[bool] = None,
+        seed: int = 12345,
+    ) -> None:
+        self.optimizer_name = optimizer
+        self.group_commit = group_commit
+        self.threads = threads
+        self.key_range = key_range
+        self.log_capacity = log_capacity
+        self.num_buckets = num_buckets
+        self.flit_table_entries = flit_table_entries
+        self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.seed = seed
+
+    def run(self, duration: int = 200_000) -> SharedStoreResult:
+        params = TimingParams(num_threads=self.threads, skip_it=self.skip_it)
+        system = TimingSystem(params)
+        heap = SimHeap(line_bytes=params.line_bytes)
+        optimizer = make_optimizer(
+            self.optimizer_name, heap, self.flit_table_entries
+        )
+        policy = make_policy("none")
+        views = [
+            PMemView(ctx, policy, optimizer)
+            for ctx in system.threads[: self.threads]
+        ]
+        store = SharedLogStore(
+            heap,
+            views,
+            log_capacity=self.log_capacity,
+            batch_size=self.group_commit,
+            num_buckets=self.num_buckets,
+        )
+
+        # Prefill to ~50% occupancy on thread 0 and checkpoint: same
+        # durable steady state as the sharded baseline, traffic discarded.
+        rng = random.Random(self.seed)
+        for key in rng.sample(range(1, self.key_range + 1), self.key_range // 2):
+            store.put(0, key, key + self.key_range)
+        store.checkpoint(0)
+        system.persist_all()
+        optimizer.declare_persisted(system)
+        system.stats.reset()
+        store.reset_measurement()
+
+        steps = [
+            self._make_step(store, tid, self.seed + 7 * tid)
+            for tid in range(self.threads)
+        ]
+        scheduler = VirtualTimeScheduler(system)
+        result = scheduler.run(steps, duration=duration, warmup=0)
+        store.sync()
+
+        stats = system.stats.as_dict()
+        registry = timing_registry(system)
+        snapshot = registry.snapshot()
+        snapshot["store.shared"] = shared_store_registry(store).snapshot()
+
+        ack = store.ack_latency_all
+        batches = store.batch_sizes.samples
+        return SharedStoreResult(
+            optimizer=self.optimizer_name,
+            group_commit=self.group_commit,
+            threads=self.threads,
+            total_ops=result.total_ops,
+            elapsed_cycles=result.elapsed,
+            throughput_mops=result.throughput() / 1e6,
+            fences=store.stats.get("store_fences"),
+            fences_per_kop=(
+                store.stats.get("store_fences") * 1000.0 / result.total_ops
+                if result.total_ops
+                else 0.0
+            ),
+            ack_p50=ack.p50() if ack.count else 0.0,
+            ack_p99=ack.p99() if ack.count else 0.0,
+            cbo_issued=stats.get("cbo_issued", 0),
+            cbo_skipped=stats.get("cbo_skipped", 0),
+            wal_records=store.wal.records_appended,
+            wal_bytes=store.wal.bytes_appended,
+            commits=store.stats.get("store_commits"),
+            checkpoints=store.stats.get("store_checkpoints"),
+            leader_takeovers=store.stats.get("store_leader_takeovers"),
+            mean_batch=(sum(batches) / len(batches)) if batches else 0.0,
+            flush_requests=sum(v.flush_requests for v in store.views),
+            metrics=snapshot,
+        )
+
+    def _make_step(self, store: SharedLogStore, tid: int, seed: int):
+        rng = random.Random(seed)
+        key_range = self.key_range
+        # disjoint value spaces keep the oracle's lost/ghost distinction
+        # sharp even when threads race on one key
+        next_value = key_range * 2 + tid * 10_000_000
+
+        def step(ctx) -> None:
+            nonlocal next_value
+            r = rng.random()
+            key = rng.randint(1, key_range)
+            if r < 0.6:
+                next_value += 1
+                store.put(tid, key, next_value)
+            elif r < 0.8:
+                store.delete(tid, key)
+            else:
+                store.get(tid, key)
 
         return step

@@ -7,6 +7,7 @@ import pytest
 from repro.bench import (
     FIGURES,
     MICRO_FIGURES,
+    SHARED_STORE_FIGURES,
     STORE_FIGURES,
     THROUGHPUT_FIGURES,
     baseline,
@@ -188,11 +189,17 @@ class TestBaseline:
 
 class TestCliDispatch:
     def test_row_type_sets_partition_all_figures(self):
-        assert MICRO_FIGURES | THROUGHPUT_FIGURES | STORE_FIGURES == set(
-            FIGURES
-        )
+        assert (
+            MICRO_FIGURES
+            | THROUGHPUT_FIGURES
+            | STORE_FIGURES
+            | SHARED_STORE_FIGURES
+        ) == set(FIGURES)
         assert not MICRO_FIGURES & THROUGHPUT_FIGURES
         assert not STORE_FIGURES & (MICRO_FIGURES | THROUGHPUT_FIGURES)
+        assert not SHARED_STORE_FIGURES & (
+            MICRO_FIGURES | THROUGHPUT_FIGURES | STORE_FIGURES
+        )
 
     def test_empty_micro_figure_prints_micro_header(self, monkeypatch, capsys):
         """Empty row lists must still dispatch on the figure's row type."""

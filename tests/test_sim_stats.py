@@ -86,3 +86,26 @@ class TestHistogram:
         samples = h.samples
         samples.append(99)
         assert h.count == 1
+
+    def test_p50_p99_helpers(self):
+        h = Histogram()
+        h.extend(range(1, 101))
+        assert h.p50() == h.percentile(50.0) == 51
+        assert h.p99() == h.percentile(99.0) == 99
+
+    def test_p99_small_histogram_is_max(self):
+        h = Histogram()
+        h.extend([10, 30, 20])
+        assert h.p99() == 30
+
+    def test_p50_matches_summary(self):
+        h = Histogram()
+        h.extend([4, 8, 15, 16, 23, 42])
+        assert h.summary()["p50"] == h.p50()
+        assert h.summary()["p99"] == h.p99()
+
+    def test_p50_p99_empty_raise(self):
+        with pytest.raises(ValueError):
+            Histogram().p50()
+        with pytest.raises(ValueError):
+            Histogram().p99()

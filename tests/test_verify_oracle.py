@@ -17,6 +17,7 @@ from repro.uarch.cpu import Instr
 from repro.uarch.soc import Soc
 from repro.verify.injector import SocCrashInjector, TimingCrashInjector
 from repro.verify.mutants import (
+    SHARED_STORE_MUTANTS,
     SOC_MUTANTS,
     STORE_MUTANTS,
     TIMING_MUTANTS,
@@ -24,7 +25,7 @@ from repro.verify.mutants import (
     timing_mutant,
 )
 from repro.verify.oracle import DurabilityOracle, WordHistory
-from repro.verify.store import StoreCrashSweep
+from repro.verify.store import SharedStoreCrashSweep, StoreCrashSweep
 
 ADDR = 0x10000
 
@@ -182,6 +183,40 @@ class TestStoreMutantsCaught:
     @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
     def test_unmutated_sweep_is_green(self, optimizer):
         report = StoreCrashSweep(optimizer, group_commit=8, ops=60).run()
+        assert report.ok, report.summary()
+
+
+#: violation kinds each shared-log mutant must produce in the sweep
+SHARED_STORE_EXPECTED_KIND = {
+    "shared_ack_before_fence": "lost",
+}
+
+
+class TestSharedStoreMutantsCaught:
+    """False-negative guarantee of the shared-log crash sweep.
+
+    The seeded leader bug acks *follower* tickets before the epoch's
+    fence retires; the sweep's windowed crash images at ``epoch_flushed``
+    must surface the acknowledged-but-still-in-flight records as lost
+    updates.  ``group_commit=4`` with 3 threads keeps epochs frequent
+    enough that several seal windows are crashed.
+    """
+
+    @pytest.mark.parametrize("mutant", sorted(SHARED_STORE_MUTANTS))
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_mutant_turns_sweep_red(self, mutant, optimizer):
+        report = SharedStoreCrashSweep(
+            optimizer, group_commit=4, threads=3, ops=60, mutants=(mutant,)
+        ).run()
+        assert not report.ok, f"{mutant} not caught on {optimizer}"
+        kinds = {violation.kind for violation in report.violations}
+        assert SHARED_STORE_EXPECTED_KIND[mutant] in kinds, report.violations
+
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_unmutated_sweep_is_green(self, optimizer):
+        report = SharedStoreCrashSweep(
+            optimizer, group_commit=4, threads=3, ops=60
+        ).run()
         assert report.ok, report.summary()
 
 

@@ -11,7 +11,13 @@ import pytest
 
 from repro.persist.flushopt import OPTIMIZER_NAMES
 from repro.store.layout import OP_COMMIT, OP_DELETE, OP_PUT
-from repro.verify.store import StoreCrashSweep, StoreOracle, run_store_sweep
+from repro.verify.store import (
+    SharedStoreCrashSweep,
+    StoreCrashSweep,
+    StoreOracle,
+    run_shared_store_sweep,
+    run_store_sweep,
+)
 
 
 class TestAcceptanceMatrix:
@@ -35,6 +41,36 @@ class TestAcceptanceMatrix:
             "plain/gc=8",
             "skipit/gc=1",
             "skipit/gc=8",
+        ]
+        assert all(report.ok for _, report in results)
+
+
+class TestSharedAcceptanceMatrix:
+    """ISSUE 5 acceptance: shared-log sweep green on the full grid."""
+
+    @pytest.mark.parametrize("optimizer", OPTIMIZER_NAMES)
+    @pytest.mark.parametrize("group_commit", [1, 8, 64])
+    def test_sweep_is_green(self, optimizer, group_commit):
+        report = SharedStoreCrashSweep(optimizer, group_commit).run()
+        assert report.ok, report.summary() + "".join(
+            f"\n  {v}" for v in report.violations[:5]
+        )
+        assert report.crash_points > report.boundaries, (
+            "mid-writeback windows were never enumerated"
+        )
+
+    def test_run_shared_store_sweep_covers_the_grid(self):
+        results = run_shared_store_sweep(
+            optimizers=("plain", "skipit"),
+            group_commits=(1, 8),
+            threads=2,
+            ops=24,
+        )
+        assert [config for config, _ in results] == [
+            "shared/plain/gc=1/t=2",
+            "shared/plain/gc=8/t=2",
+            "shared/skipit/gc=1/t=2",
+            "shared/skipit/gc=8/t=2",
         ]
         assert all(report.ok for _, report in results)
 
