@@ -120,6 +120,7 @@ def _print_shared(rows: List[SharedStoreRow]) -> None:
                 "fences/kop",
                 "ack p50",
                 "ack p99",
+                "clamped",
                 "takeovers",
                 "mean batch",
             ],
@@ -132,6 +133,7 @@ def _print_shared(rows: List[SharedStoreRow]) -> None:
                     round(r.fences_per_kop, 2),
                     r.ack_p50,
                     r.ack_p99,
+                    r.ack_clamped,
                     r.leader_takeovers,
                     round(r.mean_batch, 2),
                 )
@@ -139,6 +141,13 @@ def _print_shared(rows: List[SharedStoreRow]) -> None:
             ],
         )
     )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        print(
+            f"WARNING: {clamped} ack latencies were clamped to zero "
+            "(cross-thread virtual-clock skew); the p50/p99 columns "
+            "understate submit->durable latency for those ops"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -190,7 +199,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write a Markdown report of the selected figures to PATH",
     )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="report simulator speed (cycles/sec) on a fixed fig-9 point "
+        "and exit",
+    )
     args = parser.parse_args(argv)
+    if args.selftest:
+        from repro.bench.selftest import format_selftest, run_selftest
+
+        print(format_selftest(run_selftest()))
+        return 0
     figures = sorted(set(args.fig)) if args.fig else sorted(FIGURES)
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     if args.report:

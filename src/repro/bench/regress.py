@@ -1,0 +1,298 @@
+"""Perf-regression tracking: a fresh run vs the committed baseline.
+
+``python -m repro.bench --check`` answers "did the numbers move at
+all"; this module answers the sharper question "did they move in the
+*bad* direction".  Every compared field carries a direction — higher
+throughput is better, lower ack latency is better, fence counts lower
+is better, raw workload-volume counters are neutral — and a delta
+beyond the tolerance band is classified accordingly:
+
+``regression``
+    moved in the harmful direction (turns the check red);
+``drift``
+    a neutral field moved, so the runs are not comparable —
+    also red, because a green light must mean "same work, same speed";
+``improvement``
+    moved in the helpful direction — reported, never red.
+
+``python -m repro.bench.regress --baseline baselines/quick.json``
+re-runs exactly the figures the baseline holds (in the baseline's own
+quick/full mode, with the runner's deterministic per-point seeds) and
+exits non-zero on regressions, which is what CI wires in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench import baseline as baseline_mod
+from repro.bench.baseline import (
+    MICRO_VALUE_FIELDS,
+    SHARED_STORE_VALUE_FIELDS,
+    STORE_VALUE_FIELDS,
+    THROUGHPUT_VALUE_FIELDS,
+    _row_key,
+)
+
+#: default band: same as --check, deliberately tight — the sims are
+#: deterministic, so any delta at all is a code change speaking
+DEFAULT_REL_TOL = baseline_mod.DEFAULT_REL_TOL
+
+#: which way each compared field should move; unknown fields are neutral
+FIELD_DIRECTION: Dict[str, str] = {
+    "throughput_mops": "higher",
+    "median_cycles": "lower",
+    "stdev_cycles": "neutral",
+    "fences": "lower",
+    "fences_per_kop": "lower",
+    "ack_p50": "lower",
+    "ack_p99": "lower",
+    "flush_requests": "lower",
+    "cbo_issued": "lower",
+    "cbo_skipped": "neutral",
+    "wal_records": "neutral",
+    "commits": "neutral",
+}
+
+
+@dataclass
+class FieldDelta:
+    """One compared field that left the tolerance band."""
+
+    figure: int
+    row: str
+    field: str
+    baseline: float
+    current: float
+    rel_delta: float  # signed, relative to the baseline value
+    kind: str  # "regression" | "improvement" | "drift"
+
+
+@dataclass
+class RegressReport:
+    """Outcome of one baseline comparison."""
+
+    baseline_path: str
+    rel_tol: float
+    figures: List[int] = field(default_factory=list)
+    rows_compared: int = 0
+    deltas: List[FieldDelta] = field(default_factory=list)
+    #: structural problems (missing rows, schema mismatch); always red
+    problems: List[str] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[FieldDelta]:
+        return [d for d in self.deltas if d.kind == kind]
+
+    @property
+    def passed(self) -> bool:
+        return not (
+            self.problems or self.of_kind("regression") or self.of_kind("drift")
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline_path,
+            "rel_tol": self.rel_tol,
+            "figures": self.figures,
+            "rows_compared": self.rows_compared,
+            "passed": self.passed,
+            "problems": list(self.problems),
+            "deltas": [asdict(d) for d in self.deltas],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"regression check vs {self.baseline_path} "
+            f"(figs {', '.join(map(str, self.figures))}; "
+            f"{self.rows_compared} rows; rel_tol={self.rel_tol})"
+        ]
+        for problem in self.problems:
+            lines.append(f"  STRUCTURAL: {problem}")
+        for kind, tag in (
+            ("regression", "REGRESSION"),
+            ("drift", "DRIFT"),
+            ("improvement", "improvement"),
+        ):
+            for d in self.of_kind(kind):
+                lines.append(
+                    f"  {tag}: fig {d.figure} {d.row}: {d.field} "
+                    f"{d.baseline:g} -> {d.current:g} ({d.rel_delta:+.1%})"
+                )
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def _fields_for(row: Mapping[str, object]) -> Sequence[str]:
+    if "series" in row:
+        return MICRO_VALUE_FIELDS
+    if "ack_p50" in row:
+        return SHARED_STORE_VALUE_FIELDS
+    if "group_commit" in row:
+        return STORE_VALUE_FIELDS
+    return THROUGHPUT_VALUE_FIELDS
+
+
+def _classify(name: str, rel_delta: float) -> str:
+    direction = FIELD_DIRECTION.get(name, "neutral")
+    if direction == "neutral":
+        return "drift"
+    worse = rel_delta < 0 if direction == "higher" else rel_delta > 0
+    return "regression" if worse else "improvement"
+
+
+def compare(
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    rel_tol: float = DEFAULT_REL_TOL,
+    figures: Optional[Sequence[int]] = None,
+    baseline_path: str = "<baseline>",
+) -> RegressReport:
+    """Direction-aware comparison of two baseline documents."""
+    report = RegressReport(baseline_path=baseline_path, rel_tol=rel_tol)
+    if baseline.get("schema") != baseline_mod.SCHEMA_VERSION:
+        report.problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r}"
+        )
+        return report
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        report.problems.append(
+            f"mode mismatch: baseline quick={baseline.get('quick')}, "
+            f"current quick={current.get('quick')}"
+        )
+        return report
+    current_figs = current.get("figures", {})
+    baseline_figs = baseline.get("figures", {})
+    shared = sorted(set(current_figs) & set(baseline_figs), key=int)
+    if figures is not None:
+        wanted = {str(f) for f in figures}
+        shared = [f for f in shared if f in wanted]
+    if not shared:
+        report.problems.append("no common figures to compare")
+        return report
+    report.figures = [int(f) for f in shared]
+    for fig in shared:
+        cur_rows = {_row_key(r): r for r in current_figs[fig]["rows"]}
+        base_rows = {_row_key(r): r for r in baseline_figs[fig]["rows"]}
+        for key in sorted(set(base_rows) ^ set(cur_rows)):
+            side = "current run" if key in base_rows else "baseline"
+            report.problems.append(f"fig {fig}: row missing from {side}: {key}")
+        for key in sorted(set(cur_rows) & set(base_rows)):
+            cur, base = cur_rows[key], base_rows[key]
+            report.rows_compared += 1
+            for name in _fields_for(cur):
+                b = base.get(name)
+                c = cur.get(name)
+                if b is None or c is None:
+                    if b is not None or c is not None:
+                        report.problems.append(
+                            f"fig {fig}: {key}: {name} present on one side only"
+                        )
+                    continue
+                b, c = float(b), float(c)
+                if abs(c - b) <= rel_tol * max(abs(b), abs(c)) + 1e-9:
+                    continue
+                rel = (c - b) / abs(b) if b else float("inf")
+                report.deltas.append(
+                    FieldDelta(
+                        figure=int(fig),
+                        row=key,
+                        field=name,
+                        baseline=b,
+                        current=c,
+                        rel_delta=rel,
+                        kind=_classify(name, rel),
+                    )
+                )
+    return report
+
+
+def run_and_compare(
+    baseline_path: str,
+    figures: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    rel_tol: float = DEFAULT_REL_TOL,
+    progress=None,
+) -> RegressReport:
+    """Re-run the baseline's figures and compare against it.
+
+    The run inherits the baseline's quick/full mode so the sweeps are
+    shaped identically; *figures* (when given) restricts the comparison
+    to a subset of what the baseline holds.
+    """
+    from repro.bench.runner import run_figures
+
+    document = baseline_mod.load(baseline_path)
+    quick = bool(document.get("quick"))
+    held = sorted(int(f) for f in document.get("figures", {}))
+    wanted = sorted(set(held) & set(figures)) if figures is not None else held
+    if not wanted:
+        report = RegressReport(baseline_path=baseline_path, rel_tol=rel_tol)
+        report.problems.append(
+            f"baseline holds figures {held}, none of which were requested"
+        )
+        return report
+    runs = run_figures(wanted, quick=quick, jobs=jobs, progress=progress)
+    current = baseline_mod.snapshot(runs, quick=quick, jobs=jobs)
+    return compare(
+        current,
+        document,
+        rel_tol=rel_tol,
+        figures=wanted,
+        baseline_path=baseline_path,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="Re-run committed benchmark baselines and flag "
+        "direction-aware perf regressions.",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="baselines/quick.json",
+        help="committed baseline document to compare against",
+    )
+    parser.add_argument(
+        "--fig",
+        type=int,
+        action="append",
+        help="restrict to these figures (repeatable; default: all in "
+        "the baseline)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=DEFAULT_REL_TOL,
+        metavar="REL",
+        help=f"relative tolerance band (default {DEFAULT_REL_TOL})",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the regression report as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    report = run_and_compare(
+        args.baseline,
+        figures=args.fig,
+        jobs=args.jobs,
+        rel_tol=args.tol,
+        progress=print,
+    )
+    print(report.format())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,7 +100,7 @@ def _render_store(rows: List[StoreRow]) -> str:
 
 
 def _render_shared(rows: List[SharedStoreRow]) -> str:
-    return _markdown_table(
+    table = _markdown_table(
         [
             "optimizer",
             "threads",
@@ -109,6 +109,7 @@ def _render_shared(rows: List[SharedStoreRow]) -> str:
             "fences/kop",
             "ack p50",
             "ack p99",
+            "clamped",
             "takeovers",
             "mean batch",
         ],
@@ -121,12 +122,23 @@ def _render_shared(rows: List[SharedStoreRow]) -> str:
                 r.fences_per_kop,
                 r.ack_p50,
                 r.ack_p99,
+                r.ack_clamped,
                 r.leader_takeovers,
                 r.mean_batch,
             )
             for r in rows
         ],
     )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        table += (
+            f"\n\n**Warning:** {clamped} ack latencies were clamped to "
+            "zero (`store_ack_latency_clamped`): cross-thread "
+            "virtual-clock skew made the raw submit→durable delta "
+            "negative, so the p50/p99 columns understate those ops' "
+            "latency."
+        )
+    return table
 
 
 def _render_throughput(rows: List[ThroughputRow]) -> str:

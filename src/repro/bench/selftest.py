@@ -1,0 +1,76 @@
+"""Simulator speed self-test: cycles/second on a fixed figure-9 point.
+
+``python -m repro.bench --selftest`` runs one pinned writeback-sweep
+cell (16 KiB flushed by one thread, figure 9's mid-size point) on the
+cycle-level SoC and reports how many simulated cycles the host chewed
+through per wall-clock second.  The workload is fixed so the number is
+comparable across machines and across commits — a sudden drop flags a
+simulator slowdown the figure tolerances cannot see (results stay
+identical, they just take longer).
+
+The rate counts only the measured writeback intervals, not the dirty
+setup programs, so it is a conservative (under-)estimate of raw engine
+speed; that bias is constant for a fixed workload, which is all a
+trend row needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.workloads.sweep import writeback_sweep
+
+#: the pinned figure-9 cell: 16 KiB flushed line-by-line, one thread
+SELFTEST_SIZE_BYTES = 16 * 1024
+SELFTEST_THREADS = 1
+SELFTEST_REPEATS = 3
+
+
+@dataclass
+class SelftestResult:
+    """Sim-speed sample on the pinned workload."""
+
+    size_bytes: int
+    threads: int
+    repeats: int
+    median_cycles: float
+    total_cycles: int
+    wall_seconds: float
+
+    @property
+    def cycles_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_cycles / self.wall_seconds
+
+
+def run_selftest() -> SelftestResult:
+    """Run the pinned point; wall time covers the whole sweep call."""
+    start = time.perf_counter()
+    sweep = writeback_sweep(
+        SELFTEST_SIZE_BYTES,
+        threads=SELFTEST_THREADS,
+        clean=False,
+        repeats=SELFTEST_REPEATS,
+    )
+    wall = time.perf_counter() - start
+    return SelftestResult(
+        size_bytes=SELFTEST_SIZE_BYTES,
+        threads=SELFTEST_THREADS,
+        repeats=SELFTEST_REPEATS,
+        median_cycles=sweep.median,
+        total_cycles=int(sum(sweep.samples)),
+        wall_seconds=wall,
+    )
+
+
+def format_selftest(result: SelftestResult) -> str:
+    """One-line sim-speed row for the bench CLI."""
+    return (
+        f"selftest: fig-9 point ({result.size_bytes // 1024} KiB flush, "
+        f"{result.threads} thread, {result.repeats} reps) "
+        f"median {result.median_cycles:.0f} cycles; "
+        f"{result.total_cycles} sim cycles in {result.wall_seconds:.2f}s "
+        f"= {result.cycles_per_sec:,.0f} cycles/sec"
+    )

@@ -55,6 +55,9 @@ class SharedStoreRow:
     leader_takeovers: int = 0
     mean_batch: float = 0.0
     flush_requests: int = 0
+    #: acks clamped to zero in the latency histograms (cross-thread
+    #: virtual-clock skew); nonzero means p50/p99 understate latency
+    ack_clamped: int = 0
     #: ``timing.*`` + ``store.shared.*`` metrics snapshot from the run
     metrics: Optional[Dict[str, object]] = None
 
@@ -102,6 +105,7 @@ def run_fig18(
                     leader_takeovers=result.leader_takeovers,
                     mean_batch=result.mean_batch,
                     flush_requests=result.flush_requests,
+                    ack_clamped=result.ack_clamped,
                     metrics=result.metrics,
                 )
             )

@@ -384,6 +384,11 @@ class FlushUnit:
             shrink=release_shrink(request),
             data=data,
         )
+        if self.obs is not None:
+            # causal link: the TileLink beats this release occupies (and
+            # the DRAM writeback they trigger) happened *because of* this
+            # CBO.X — downstream emitters propagate the span key
+            message.cause = f"cbo:{request.flush_id}"
         self.l1.send_channel_c(message, cycle)
         fshr.sent_release()
         self.stats.inc("root_release_data" if with_data else "root_release_nodata")

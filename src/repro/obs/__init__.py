@@ -19,9 +19,16 @@ This package makes that a subsystem instead of an afterthought:
   (open a run in Perfetto / ``chrome://tracing``) plus summaries;
 * :mod:`repro.obs.attach` — wiring: :class:`Observability` attaches a
   bus + registry to a :class:`~repro.uarch.soc.Soc`; every hook in the
-  simulator is a no-op (``if self.obs is not None``) until then.
+  simulator is a no-op (``if self.obs is not None``) until then;
+* :mod:`repro.obs.trace` — causal store tracing: a
+  :class:`StoreTracer` threads a trace id from submit through group
+  commit, clean, fence and ack, decomposing every acked op's latency
+  into named blame buckets;
+* :mod:`repro.obs.query` — blame queries over recorded traces:
+  top-K slowest ops, dominant buckets, per-bucket histograms.
 
-``python -m repro.obs`` records, summarizes, and converts traces.
+``python -m repro.obs`` records, summarizes, converts and queries
+traces.
 """
 
 from repro.obs.events import Event, EventBus, Span, describe_message
@@ -43,8 +50,22 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.trace import BLAME_BUCKETS, OpBlame, StoreTracer
+from repro.obs.query import (
+    blame_from_spans,
+    format_blame,
+    query_trace,
+    top_slowest,
+)
 
 __all__ = [
+    "BLAME_BUCKETS",
+    "OpBlame",
+    "StoreTracer",
+    "blame_from_spans",
+    "format_blame",
+    "query_trace",
+    "top_slowest",
     "Event",
     "EventBus",
     "Span",

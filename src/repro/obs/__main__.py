@@ -13,6 +13,14 @@ Commands
     (open at https://ui.perfetto.dev or ``chrome://tracing``).
 ``hot``
     List the top-N hottest cache lines of a recorded trace.
+``record-store``
+    Run a shared-log store benchmark with the causal
+    :class:`~repro.obs.trace.StoreTracer` attached; write the trace and
+    print the blame report (which pipeline stage each op's latency went
+    to).
+``query``
+    Answer "where did the cycles of the slowest acks go" over a
+    recorded store trace: top-K slowest ops with per-bucket blame.
 """
 
 from __future__ import annotations
@@ -109,6 +117,49 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record_store(args: argparse.Namespace) -> int:
+    from repro.obs.query import format_blame
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import StoreTracer
+    from repro.workloads.store import SharedStoreBenchmark
+
+    tracer = StoreTracer()
+    bench = SharedStoreBenchmark(
+        args.optimizer, args.group_commit, threads=args.threads
+    )
+    result = bench.run(duration=args.duration, tracer=tracer)
+    written = write_jsonl(args.out, tracer.bus)
+    print(
+        f"{result.total_ops} ops in {result.elapsed_cycles} cycles "
+        f"({result.throughput_mops:.3f} Mops/s); "
+        f"wrote {written} records to {args.out}"
+    )
+    if args.chrome:
+        trace = chrome_trace(tracer.bus.events, tracer.bus.spans)
+        with open(args.chrome, "w") as handle:
+            json.dump(trace, handle)
+        print(
+            f"wrote {len(trace['traceEvents'])} trace entries to {args.chrome} "
+            "(open at https://ui.perfetto.dev)"
+        )
+    if args.metrics:
+        registry = MetricsRegistry()
+        tracer.register_metrics(registry)
+        with open(args.metrics, "w") as handle:
+            handle.write(registry.to_json())
+        print(f"wrote blame metrics snapshot to {args.metrics}")
+    print()
+    print(format_blame(tracer.records, top=args.top))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.obs.query import query_trace
+
+    print(query_trace(args.trace, top=args.top))
+    return 0
+
+
 def _cmd_hot(args: argparse.Namespace) -> int:
     events, spans = read_jsonl(args.trace)
     rows = hottest_lines(events, spans, top=args.top)
@@ -155,6 +206,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     hot.add_argument("trace")
     hot.add_argument("-n", "--top", type=int, default=10)
     hot.set_defaults(fn=_cmd_hot)
+
+    rstore = sub.add_parser(
+        "record-store", help="record a causally-traced shared-store run"
+    )
+    rstore.add_argument(
+        "--out", default="store_trace.jsonl", help="JSONL output path"
+    )
+    rstore.add_argument("--chrome", help="also write Chrome trace-event JSON here")
+    rstore.add_argument("--metrics", help="also write blame metrics here")
+    rstore.add_argument("--optimizer", default="skipit")
+    rstore.add_argument("--threads", type=int, default=2)
+    rstore.add_argument("--group-commit", type=int, default=8)
+    rstore.add_argument("--duration", type=int, default=30_000)
+    rstore.add_argument("-n", "--top", type=int, default=5)
+    rstore.set_defaults(fn=_cmd_record_store)
+
+    query = sub.add_parser(
+        "query", help="top-K slowest ops and their dominant blame bucket"
+    )
+    query.add_argument("trace")
+    query.add_argument("-n", "--top", type=int, default=5)
+    query.set_defaults(fn=_cmd_query)
 
     args = parser.parse_args(argv)
     return args.fn(args)

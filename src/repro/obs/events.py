@@ -18,13 +18,22 @@ hooks produce two kinds of records:
 
 The bus never raises into the simulator: closing an unknown span or
 re-opening a live key is recorded in ``dropped`` and otherwise ignored.
+
+**Causality.** The bus carries an ambient *cause* — the key of the span
+whose work is currently executing (a store op, an epoch seal, a fired
+instruction).  While :attr:`EventBus.cause` is set (directly or via the
+:meth:`EventBus.causal` context manager), every event and span opened
+picks up a ``cause`` arg, so a CBO issued inside an epoch's clean loop
+or a TileLink beat triggered by an instruction carries the id of the
+operation that caused it without touching any emit site.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.stats import Histogram
 
@@ -163,6 +172,9 @@ class EventBus:
         self.record_events = record_events
         self.dropped = 0  # malformed span operations, never raised
         self.refs = 0  # attach/detach bookkeeping (see repro.obs.attach)
+        #: ambient causal context: the span key whose work is executing;
+        #: attached as ``cause`` to every emit/open_span while set
+        self.cause: Optional[str] = None
         self._open: Dict[str, Span] = {}
         self._subscribers: List[Callable[[Event], None]] = []
         #: per (category, state) latency histograms, filled on span close
@@ -182,10 +194,23 @@ class EventBus:
     def has_subscribers(self) -> bool:
         return bool(self._subscribers)
 
+    # ------------------------------------------------------------ causality
+    @contextmanager
+    def causal(self, cause: Optional[str]) -> Iterator["EventBus"]:
+        """Scope an ambient cause id; restores the previous one on exit."""
+        previous = self.cause
+        self.cause = cause
+        try:
+            yield self
+        finally:
+            self.cause = previous
+
     # --------------------------------------------------------------- events
     def emit(
         self, cycle: int, category: str, name: str, track: str = "", **args
     ) -> None:
+        if self.cause is not None and "cause" not in args:
+            args["cause"] = self.cause
         event = Event(cycle=cycle, category=category, name=name, track=track, args=args)
         if self.record_events:
             self.events.append(event)
@@ -216,6 +241,8 @@ class EventBus:
             # a live key is re-opened only on observer misuse; keep going
             self.dropped += 1
             self._open.pop(key)
+        if self.cause is not None and "cause" not in args:
+            args["cause"] = self.cause
         span = Span(
             key=key, category=category, name=name, track=track, start=cycle, args=args
         )

@@ -6,8 +6,13 @@ streams well and survives truncation.  ``chrome_trace`` converts events
 and spans into the Chrome trace-event format [1] that Perfetto and
 ``chrome://tracing`` open directly: spans become complete (``"X"``)
 slices, one per FSM-state segment nested under one slice per request,
-and instant events become ``"i"`` marks.  Cycle numbers are used as
-microsecond timestamps (1 cycle = 1 us on the viewer's axis).
+and instant events become ``"i"`` marks.  Spans whose args name another
+span — an op's sealing ``epoch``, a cbo's causing request via
+``cause`` — get flow arrows (``"s"``/``"f"``) so Perfetto draws the
+causal chain across tracks, and ``"C"`` counter tracks chart flush
+queue depth, outstanding FSHRs and cumulative Skip It drops.  Cycle
+numbers are used as microsecond timestamps (1 cycle = 1 us on the
+viewer's axis).
 
 [1] https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 """
@@ -20,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.obs.events import Event, EventBus, Span
 
 #: phases legal in the trace-event schema that this exporter emits
-CHROME_PHASES = ("X", "i", "M")
+CHROME_PHASES = ("X", "i", "M", "C", "s", "f")
 
 
 # ------------------------------------------------------------------- JSONL
@@ -67,6 +72,7 @@ def chrome_trace(
     events: Iterable = (),
     spans: Iterable = (),
     include_events: bool = True,
+    include_counters: bool = True,
 ) -> Dict[str, object]:
     """Build a trace-event JSON object from events and spans.
 
@@ -77,6 +83,8 @@ def chrome_trace(
     spans = _as_dicts(spans)
     trace: List[dict] = []
     tids: Dict[str, int] = {}
+    #: span key -> (tid, slice start): flow endpoints bind to these slices
+    anchors: Dict[str, Tuple[int, int]] = {}
 
     def tid_of(track: str) -> int:
         if track not in tids:
@@ -96,15 +104,20 @@ def chrome_trace(
         if span.get("end") is None:
             continue  # still open at export time
         tid = tid_of(span.get("track", ""))
+        key = str(span.get("key", ""))
+        if key and key not in anchors:
+            anchors[key] = (tid, span["start"])
         args = dict(span.get("args", {}))
-        args["key"] = span.get("key", "")
+        args["key"] = key
         trace.append(
             {
                 "name": span["name"],
                 "cat": span.get("category", ""),
                 "ph": "X",
                 "ts": span["start"],
-                "dur": span["end"] - span["start"],
+                # store-op spans cross loosely-synchronized virtual
+                # clocks; clamp so the viewer schema stays valid
+                "dur": max(0, span["end"] - span["start"]),
                 "pid": 0,
                 "tid": tid,
                 "args": args,
@@ -117,12 +130,56 @@ def chrome_trace(
                     "cat": span.get("category", ""),
                     "ph": "X",
                     "ts": seg_start,
-                    "dur": seg_end - seg_start,
+                    "dur": max(0, seg_end - seg_start),
                     "pid": 0,
                     "tid": tid,
-                    "args": {"state": state, "key": span.get("key", "")},
+                    "args": {"state": state, "key": key},
                 }
             )
+    # flow arrows: a span whose args name another recorded span — its
+    # sealing epoch or causing request — links the two slices causally
+    next_flow = 1
+    for span in spans:
+        if span.get("end") is None:
+            continue
+        source_key = str(span.get("key", ""))
+        source = anchors.get(source_key)
+        if source is None:
+            continue
+        args = span.get("args", {})
+        for link in ("epoch", "cause"):
+            target_key = args.get(link)
+            if not isinstance(target_key, str) or target_key == source_key:
+                continue
+            target = anchors.get(target_key)
+            if target is None:
+                continue
+            trace.append(
+                {
+                    "name": link,
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": next_flow,
+                    "ts": source[1],
+                    "pid": 0,
+                    "tid": source[0],
+                }
+            )
+            trace.append(
+                {
+                    "name": link,
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": next_flow,
+                    "ts": target[1],
+                    "pid": 0,
+                    "tid": target[0],
+                }
+            )
+            next_flow += 1
+    if include_counters:
+        trace.extend(_counter_entries(events, spans, tid_of("counters")))
     if include_events:
         for event in events:
             # span begin/transition/end events are redundant with slices
@@ -142,6 +199,71 @@ def chrome_trace(
                 }
             )
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def _counter_entries(
+    events: List[dict], spans: List[dict], tid: int
+) -> List[dict]:
+    """Counter tracks (``"C"``) derived from the recorded trace.
+
+    ``flush_queue_depth`` rises while a CBO.X sits in the flush queue
+    (the span's ``queued`` segment) and ``outstanding_fshrs`` while its
+    FSHR executes (dequeue to ack).  ``skip_filtered_cleans`` counts
+    Skip It drops cumulatively — monotone non-decreasing by
+    construction — from both the SoC (``skipped``) and the timing model
+    (``cbo_skipped``).
+    """
+    deltas: Dict[str, List[Tuple[int, int]]] = {
+        "flush_queue_depth": [],
+        "outstanding_fshrs": [],
+    }
+    for span in spans:
+        if span.get("category") != "cbo" or span.get("end") is None:
+            continue
+        fshr_start: Optional[int] = None
+        for state, seg_start, seg_end in span.get("states", []):
+            if state == "queued":
+                deltas["flush_queue_depth"].append((seg_start, +1))
+                deltas["flush_queue_depth"].append((seg_end, -1))
+            elif fshr_start is None:
+                fshr_start = seg_start
+        if fshr_start is not None:
+            deltas["outstanding_fshrs"].append((fshr_start, +1))
+            deltas["outstanding_fshrs"].append((span["end"], -1))
+    entries: List[dict] = []
+    for name, steps in deltas.items():
+        level = 0
+        for ts, delta in sorted(steps):
+            level += delta
+            entries.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"value": level},
+                }
+            )
+    skips = sorted(
+        event["cycle"]
+        for event in events
+        if event.get("name") in ("skipped", "cbo_skipped")
+    )
+    total = 0
+    for ts in skips:
+        total += 1
+        entries.append(
+            {
+                "name": "skip_filtered_cleans",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "tid": tid,
+                "args": {"value": total},
+            }
+        )
+    return entries
 
 
 def write_chrome_trace(path: str, events: Iterable = (), spans: Iterable = ()) -> int:
@@ -170,7 +292,9 @@ def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
         phase = entry.get("ph")
         if phase not in CHROME_PHASES:
             problems.append(f"entry {i} has unknown phase {phase!r}")
-        if phase in ("X", "i") and not isinstance(entry.get("ts"), int):
+        if phase in ("X", "i", "C", "s", "f") and not isinstance(
+            entry.get("ts"), int
+        ):
             problems.append(f"entry {i} has non-integer ts")
         if phase == "X":
             duration = entry.get("dur")
@@ -178,6 +302,14 @@ def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
                 problems.append(f"entry {i} has bad dur {duration!r}")
         if phase == "i" and entry.get("s") not in ("g", "p", "t"):
             problems.append(f"entry {i} instant scope {entry.get('s')!r}")
+        if phase == "C":
+            value = entry.get("args", {}).get("value")
+            if not isinstance(value, int):
+                problems.append(f"entry {i} counter value {value!r}")
+        if phase in ("s", "f") and not isinstance(entry.get("id"), int):
+            problems.append(f"entry {i} flow event missing id")
+        if phase == "f" and entry.get("bp") != "e":
+            problems.append(f"entry {i} flow end missing bp='e'")
     return problems
 
 

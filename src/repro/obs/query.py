@@ -1,0 +1,163 @@
+"""Blame queries over recorded store traces: "where did those cycles go".
+
+Consumes the per-op blame attribution :mod:`repro.obs.trace` produces —
+either live (``tracer.records``) or re-parsed from a JSONL trace, where
+every closed ``store.op`` span carries its ``blame`` buckets, latency
+and causing epoch in its args — and answers the questions the ack
+latency histograms cannot: which ops were slowest, and which pipeline
+stage (batch wait, leadership, clean issue, writeback drain, fence
+stall) dominated each.
+
+``python -m repro.obs query trace.jsonl --top 5`` is the CLI entry;
+:func:`register_blame_metrics` feeds the same decomposition into a
+:class:`~repro.obs.registry.MetricsRegistry` as per-bucket histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.obs.events import Span
+from repro.obs.trace import BLAME_BUCKETS, OpBlame
+from repro.sim.stats import Histogram
+
+
+def blame_from_spans(spans: Iterable) -> List[OpBlame]:
+    """Rebuild :class:`OpBlame` records from ``store.op`` spans.
+
+    Accepts :class:`~repro.obs.events.Span` objects or their dict forms
+    (as returned by :func:`repro.obs.export.read_jsonl`).  Open spans
+    and spans without blame args (ops never acked) are skipped.
+    """
+    records: List[OpBlame] = []
+    for span in spans:
+        if isinstance(span, Span):
+            span = span.to_dict()
+        if span.get("category") != "store.op" or span.get("end") is None:
+            continue
+        args = span.get("args", {})
+        buckets = args.get("blame")
+        if not isinstance(buckets, dict):
+            continue
+        latency = int(args.get("latency", 0))
+        durable_now = int(span["end"])
+        key = str(span.get("key", "op:0"))
+        try:
+            trace_id = int(key.split(":", 1)[1])
+        except (IndexError, ValueError):
+            trace_id = 0
+        records.append(
+            OpBlame(
+                trace_id=trace_id,
+                tid=int(args.get("tid", 0)),
+                lsn=int(args.get("lsn", 0)),
+                epoch=str(args.get("epoch", "")),
+                submit_now=durable_now - latency,
+                durable_now=durable_now,
+                latency=latency,
+                clamped=bool(args.get("clamped", False)),
+                buckets={k: int(v) for k, v in buckets.items()},
+            )
+        )
+    return records
+
+
+def top_slowest(records: Iterable[OpBlame], top: int = 5) -> List[OpBlame]:
+    """The *top* highest-latency ops, slowest first (stable on ties)."""
+    return sorted(records, key=lambda r: (-r.latency, r.trace_id))[:top]
+
+
+def bucket_histograms(records: Iterable[OpBlame]) -> Dict[str, Histogram]:
+    """Per-bucket cycle histograms over *records* (plus ``latency``)."""
+    out: Dict[str, Histogram] = {name: Histogram() for name in BLAME_BUCKETS}
+    out["latency"] = Histogram()
+    for record in records:
+        out["latency"].add(record.latency)
+        for name in BLAME_BUCKETS:
+            out[name].add(record.buckets.get(name, 0))
+    return out
+
+
+def register_blame_metrics(
+    registry,
+    records: Iterable[OpBlame],
+    prefix: str = "store.blame",
+) -> Dict[str, Histogram]:
+    """Register the blame histograms under *prefix* in *registry*."""
+    histograms = bucket_histograms(records)
+    for name, histogram in histograms.items():
+        registry.register_histogram(f"{prefix}.{name}", histogram)
+    return histograms
+
+
+def dominant_counts(records: Iterable[OpBlame]) -> Dict[str, int]:
+    """How many ops each bucket dominates."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = record.dominant
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def format_blame(records: List[OpBlame], top: int = 5) -> str:
+    """Human-readable blame report: aggregate shares, then the top-K ops."""
+    if not records:
+        return "no acked ops with blame attribution in this trace"
+    lines: List[str] = []
+    latency = Histogram()
+    totals: Dict[str, int] = {name: 0 for name in BLAME_BUCKETS}
+    clamped = 0
+    for record in records:
+        latency.add(record.latency)
+        clamped += record.clamped
+        for name in BLAME_BUCKETS:
+            totals[name] += record.buckets.get(name, 0)
+    grand = sum(totals.values())
+    lines.append(
+        f"{len(records)} acked ops; ack latency p50={latency.p50():.0f} "
+        f"p99={latency.p99():.0f} mean={latency.mean():.1f} cycles"
+        + (f"; {clamped} clamped (cross-clock)" if clamped else "")
+    )
+    dominated = dominant_counts(records)
+    lines.append("blame share (all ops):")
+    for name in BLAME_BUCKETS:
+        share = totals[name] / grand if grand else 0.0
+        lines.append(
+            f"  {name:<16} {totals[name]:>10} cycles  {share:>6.1%}  "
+            f"dominant in {dominated.get(name, 0)} ops"
+        )
+    lines.append("")
+    header = (
+        f"{'op':>8} {'tid':>3} {'lsn':>6} {'epoch':>9} {'latency':>8} "
+        f"{'dominant':<16} " + " ".join(f"{n:>10}" for n in BLAME_BUCKETS)
+    )
+    lines.append(f"top {min(top, len(records))} slowest ops:")
+    lines.append(header)
+    for record in top_slowest(records, top):
+        lines.append(
+            f"{'op:%d' % record.trace_id:>8} {record.tid:>3} {record.lsn:>6} "
+            f"{record.epoch:>9} {record.latency:>8} {record.dominant:<16} "
+            + " ".join(
+                f"{record.buckets.get(n, 0):>10}" for n in BLAME_BUCKETS
+            )
+        )
+    return "\n".join(lines)
+
+
+def query_trace(path: str, top: int = 5) -> str:
+    """Load a JSONL trace and render the blame report (CLI backend)."""
+    from repro.obs.export import read_jsonl
+
+    _, spans = read_jsonl(path)
+    return format_blame(blame_from_spans(spans), top=top)
+
+
+__all__ = [
+    "blame_from_spans",
+    "top_slowest",
+    "bucket_histograms",
+    "register_blame_metrics",
+    "dominant_counts",
+    "format_blame",
+    "query_trace",
+]

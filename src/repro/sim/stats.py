@@ -81,10 +81,17 @@ class Histogram:
         return stdev(self._samples)
 
     def percentile(self, p: float) -> float:
-        if not self._samples:
-            raise ValueError("percentile of empty histogram")
+        """The *p*-th percentile, or 0.0 for an empty histogram.
+
+        Zero (matching :meth:`summary`) rather than an exception: latency
+        histograms legitimately end a run empty — a state never visited,
+        a quick run too short to ack — and every consumer would otherwise
+        need the same ``if h.count`` guard.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be within [0, 100]")
+        if not self._samples:
+            return 0.0
         ordered = sorted(self._samples)
         idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return float(ordered[idx])

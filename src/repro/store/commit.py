@@ -68,34 +68,51 @@ class GroupCommitter:
         batch, self.pending = self.pending, []
         self._window_start = None
         view = store.view
+        tracer = store.tracer
+        epoch = None
+        if tracer is not None:
+            epoch = tracer.seal_begin(0, view.ctx.now)
 
         marker_lsn = store.wal.append(view, OP_COMMIT, len(batch), 0)
         # the marker now exists in cache: an eviction could land it at
         # any moment, so the commit is *initiated* — the oracle's upper
         # bound on what recovery may surface
         store.initiated_lsn = marker_lsn
+        if tracer is not None:
+            tracer.seal_marker(epoch, marker_lsn, view.ctx.now)
 
         for ticket in batch:
             store.wal.clean_record(view, ticket.lsn)
         store.wal.clean_record(view, marker_lsn)
+        if tracer is not None:
+            tracer.seal_cleaned(epoch, view.ctx.now)
 
         if "store_ack_before_fence" in store.mutants:
             # seeded bug: acknowledge while the epoch's writebacks are
             # still in flight — a crash in that window loses acked ops
-            self._acknowledge(batch, marker_lsn)
+            self._acknowledge(batch, marker_lsn, epoch)
 
         store.probe_point("epoch_flushed")
         view.ctx.fence()
         store.stats.inc("store_fences")
+        if tracer is not None:
+            tracer.seal_fenced(
+                epoch, view.ctx.now, getattr(view.ctx, "last_fence_waited", 0)
+            )
 
         if "store_ack_before_fence" not in store.mutants:
-            self._acknowledge(batch, marker_lsn)
+            self._acknowledge(batch, marker_lsn, epoch)
 
         store.stats.inc("store_commits")
         store.batch_sizes.add(len(batch))
         store.probe_point("epoch_committed")
+        if tracer is not None:
+            tracer.seal_end(epoch, view.ctx.now, len(batch))
 
-    def _acknowledge(self, batch, marker_lsn: int) -> None:
+    def _acknowledge(self, batch, marker_lsn: int, epoch=None) -> None:
+        tracer = self.store.tracer
         for ticket in batch:
             ticket.acked = True
+            if tracer is not None and epoch is not None:
+                tracer.op_acked(epoch, ticket, self.store.view.ctx.now)
         self.store.acked_lsn = marker_lsn

@@ -69,6 +69,8 @@ class SharedCommitTicket:
     submit_now: int
     acked: bool = False
     durable_now: Optional[int] = None
+    #: causal trace id assigned by an attached StoreTracer (None untraced)
+    trace_id: Optional[int] = None
 
 
 class SharedWriteAheadLog(WriteAheadLog):
@@ -162,6 +164,8 @@ class EpochSealer:
             # trigger fired on a follower: give the leader one scheduler
             # round to claim the epoch before leadership moves
             store.stats.inc("store_seals_deferred")
+            if store.tracer is not None:
+                store.tracer.seal_deferred(now)
 
     def take_over(self, tid: int) -> None:
         """Claim leadership with a CAS on the shared leader word."""
@@ -185,15 +189,23 @@ class EpochSealer:
         batch, self.pending = self.pending, []
         self._window_start = None
         view = store.views[tid]
+        tracer = store.tracer
+        epoch = None
+        if tracer is not None:
+            epoch = tracer.seal_begin(tid, view.ctx.now)
 
         marker_lsn = store.wal.append(view, OP_COMMIT, len(batch), 0)
         # marker in cache: the epoch is *initiated* — an eviction could
         # land it at any moment (the oracle's ceiling on recovery)
         store.initiated_lsn = marker_lsn
+        if tracer is not None:
+            tracer.seal_marker(epoch, marker_lsn, view.ctx.now)
 
         for ticket in batch:
             store.wal.clean_record(view, ticket.lsn)
         store.wal.clean_record(view, marker_lsn)
+        if tracer is not None:
+            tracer.seal_cleaned(epoch, view.ctx.now)
 
         if "shared_ack_before_fence" in store.mutants:
             # seeded bug: the leader treats its fence as covering only
@@ -201,25 +213,33 @@ class EpochSealer:
             # epoch's writebacks are still in flight — a crash in that
             # window loses acknowledged follower updates
             self._acknowledge(
-                [t for t in batch if t.tid != tid], marker_lsn, view
+                [t for t in batch if t.tid != tid], marker_lsn, view, epoch
             )
 
         store.probe_point("epoch_flushed")
         view.ctx.fence()
         store.stats.inc("store_fences")
+        if tracer is not None:
+            tracer.seal_fenced(
+                epoch, view.ctx.now, getattr(view.ctx, "last_fence_waited", 0)
+            )
 
-        self._acknowledge(batch, marker_lsn, view)
+        self._acknowledge(batch, marker_lsn, view, epoch)
         store.stats.inc("store_commits")
         store.batch_sizes.add(len(batch))
         store.probe_point("epoch_committed")
+        if tracer is not None:
+            tracer.seal_end(epoch, view.ctx.now, len(batch))
 
     def _acknowledge(
         self,
         tickets: Sequence[SharedCommitTicket],
         marker_lsn: int,
         view: PMemView,
+        epoch=None,
     ) -> None:
         store = self.store
+        tracer = store.tracer
         now = view.ctx.now
         for ticket in tickets:
             if ticket.acked:
@@ -235,6 +255,8 @@ class EpochSealer:
                 store.stats.inc("store_ack_latency_clamped")
             store.ack_latency[ticket.tid].add(latency)
             store.ack_latency_all.add(latency)
+            if tracer is not None and epoch is not None:
+                tracer.op_acked(epoch, ticket, now)
         store.acked_lsn = max(store.acked_lsn, marker_lsn)
 
 
@@ -336,6 +358,8 @@ class SharedLogStore:
         self.ack_latency_all = Histogram()
         self.mutants: Set[str] = set()  # seeded-bug flags (tests only)
         self.probe: Optional[Callable[[str], None]] = probe
+        #: causal tracer (repro.obs.trace.StoreTracer); None = zero-cost
+        self.tracer = None
         self._commits_at_checkpoint = 0
 
     @property
@@ -367,12 +391,17 @@ class SharedLogStore:
             raise ValueError("keys must be positive integers")
         self._ensure_capacity(tid)
         view = self.views[tid]
+        tracer = self.tracer
+        if tracer is not None:
+            trace_id = tracer.op_begin(tid, view.ctx.now)
         lsn = self.wal.append(view, op, key, value)
         if op == OP_PUT:
             self.memtable[key] = value
         else:
             self.memtable.pop(key, None)
         ticket = SharedCommitTicket(lsn, tid, view.ctx.now)
+        if tracer is not None:
+            tracer.op_submitted(trace_id, ticket, ticket.submit_now)
         self.probe_point("op_submitted")
         self.sealer.submit(tid, ticket)
         self._maybe_checkpoint(tid)

@@ -37,6 +37,8 @@ class CommitTicket:
 
     lsn: int
     acked: bool = False
+    #: causal trace id assigned by an attached StoreTracer (None untraced)
+    trace_id: Optional[int] = None
 
 
 class DurableStore:
@@ -95,6 +97,8 @@ class DurableStore:
         self.batch_sizes = Histogram()
         self.mutants: Set[str] = set()  # seeded-bug flags (tests only)
         self.probe: Optional[Callable[[str], None]] = probe
+        #: causal tracer (repro.obs.trace.StoreTracer); None = zero-cost
+        self.tracer = None
         self._commits_at_checkpoint = 0
 
     # ---------------------------------------------------------- internals
@@ -123,12 +127,17 @@ class DurableStore:
         if key <= 0:
             raise ValueError("keys must be positive integers")
         self._ensure_capacity()
+        tracer = self.tracer
+        if tracer is not None:
+            trace_id = tracer.op_begin(0, self.view.ctx.now)
         lsn = self.wal.append(self.view, op, key, value)
         if op == OP_PUT:
             self.memtable[key] = value
         else:
             self.memtable.pop(key, None)
         ticket = CommitTicket(lsn)
+        if tracer is not None:
+            tracer.op_submitted(trace_id, ticket, self.view.ctx.now)
         self.probe_point("op_submitted")
         self.committer.submit(ticket)
         self._maybe_checkpoint()

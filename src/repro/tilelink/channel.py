@@ -48,6 +48,10 @@ class BeatChannel(Generic[M]):
         if self.obs is not None:
             from repro.obs.events import describe_message
 
+            extra = {}
+            cause = getattr(message, "cause", None)
+            if cause is not None:
+                extra["cause"] = cause
             self.obs.emit(
                 now,
                 "tilelink",
@@ -58,6 +62,7 @@ class BeatChannel(Generic[M]):
                 beats=beats,
                 deliver_at=deliver_at,
                 detail=describe_message(message),
+                **extra,
             )
         return deliver_at
 

@@ -49,6 +49,9 @@ class _Message:
     source: int
     address: int
     txn: int = field(default_factory=_next_txn, compare=False)
+    #: causal span id (e.g. ``cbo:<flush_id>``) stamped by the sender when
+    #: an observability bus is attached; purely diagnostic, never compared
+    cause: Optional[str] = field(default=None, compare=False)
 
     @property
     def has_data(self) -> bool:

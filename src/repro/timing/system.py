@@ -83,6 +83,9 @@ class ThreadCtx:
         self.now = 0
         self.outstanding: Deque[int] = deque()  # writeback completion times
         self.ops = 0
+        #: cycles the most recent fence spent draining writebacks (pure
+        #: bookkeeping for blame attribution; never read by the model)
+        self.last_fence_waited = 0
 
     # convenience wrappers --------------------------------------------------
     def load(self, address: int) -> int:
@@ -551,6 +554,7 @@ class TimingSystem:
             # every writeback of this thread has now completed; its bytes
             # are in the persistence domain
             self._settle_thread(ctx.tid)
+        ctx.last_fence_waited = waited
         ctx.now += self.params.fence_base
         self.stats.inc("fences")
         if self.obs is not None:

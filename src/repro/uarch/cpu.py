@@ -278,7 +278,13 @@ class Core:
     def _fire(self, slot: _Slot, cycle: int) -> None:
         instr = slot.instr
         request = MemRequest(op=instr.op, address=instr.address, data=instr.data)
-        outcome = self.l1.fire(request, cycle)
+        if self.obs is not None:
+            # ambient cause: spans opened while the L1 handles this fire
+            # (flush-queue entries, MSHRs) record which request caused them
+            with self.obs.causal(f"core{self.core_id}.req{request.req_id}"):
+                outcome = self.l1.fire(request, cycle)
+        else:
+            outcome = self.l1.fire(request, cycle)
         if outcome.status is FireStatus.NACK:
             slot.retry_at = cycle + RETRY_DELAY
             self.stats.inc("nacks")

@@ -195,6 +195,9 @@ class SharedStoreResult:
     leader_takeovers: int
     mean_batch: float
     flush_requests: int
+    #: acks whose raw submit→durable delta was negative (cross-thread
+    #: virtual-clock skew) and entered the histograms clamped to zero
+    ack_clamped: int = 0
     #: ``timing.*`` + ``store.shared.*`` metrics snapshot
     metrics: Dict[str, object] = field(default_factory=dict)
 
@@ -231,7 +234,7 @@ class SharedStoreBenchmark:
         self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
         self.seed = seed
 
-    def run(self, duration: int = 200_000) -> SharedStoreResult:
+    def run(self, duration: int = 200_000, tracer=None) -> SharedStoreResult:
         params = TimingParams(num_threads=self.threads, skip_it=self.skip_it)
         system = TimingSystem(params)
         heap = SimHeap(line_bytes=params.line_bytes)
@@ -261,6 +264,10 @@ class SharedStoreBenchmark:
         optimizer.declare_persisted(system)
         system.stats.reset()
         store.reset_measurement()
+        if tracer is not None:
+            # attach after prefill so only measured ops are traced; left
+            # attached on return so the caller can read tracer.records
+            tracer.attach(store, system)
 
         steps = [
             self._make_step(store, tid, self.seed + 7 * tid)
@@ -301,6 +308,7 @@ class SharedStoreBenchmark:
             leader_takeovers=store.stats.get("store_leader_takeovers"),
             mean_batch=(sum(batches) / len(batches)) if batches else 0.0,
             flush_requests=sum(v.flush_requests for v in store.views),
+            ack_clamped=store.stats.get("store_ack_latency_clamped"),
             metrics=snapshot,
         )
 

@@ -76,3 +76,30 @@ class TestOracle:
         o.writeback(0x40)
         o.fence()
         assert o.check_memory(lambda addr: {0x40: 1}.get(addr, 0)) == []
+
+    def test_newer_value_in_memory_is_over_persistence(self):
+        """A post-fence writeback landing newer data is legal.
+
+        The oracle is a lower bound: memory must hold *at least* the
+        fence-covered write, and a later program-order value counts as
+        "persisting more".  store(2); clean; store(1); FENCE; clean ends
+        with 1 in memory even though the fence only required 2.
+        """
+        o = WritebackOracle()
+        o.write(0x1000, 2)
+        o.writeback(0x1000)
+        o.write(0x1000, 1)
+        o.fence()
+        o.writeback(0x1000)  # post-fence: may land 1 in memory
+        assert o.required_persisted == {0x1000: 2}
+        assert o.check_memory(lambda addr: {0x1000: 1}.get(addr, 0)) == []
+
+    def test_stale_value_is_still_a_violation(self):
+        """Superseding only runs forward: an *older* value stays red."""
+        o = WritebackOracle()
+        o.write(0x40, 7)
+        o.write(0x40, 8)
+        o.writeback(0x40)
+        o.fence()
+        violations = o.check_memory(lambda addr: {0x40: 7}.get(addr, 0))
+        assert len(violations) == 1 and "0x40" in violations[0]

@@ -77,8 +77,20 @@ class TestHistogram:
             Histogram().median()
         with pytest.raises(ValueError):
             Histogram().mean()
+
+    def test_empty_percentiles_well_defined(self):
+        # percentiles (unlike mean/median) are consumed by reports and
+        # metric snapshots on histograms that may have no samples at
+        # all; they return 0.0 instead of raising, matching summary()
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.p50() == 0.0
+        assert h.p99() == 0.0
+        assert h.summary()["count"] == 0
+        assert h.summary()["p99"] == 0.0
+        # the bounds check still applies even when empty
         with pytest.raises(ValueError):
-            Histogram().percentile(50)
+            h.percentile(-1)
 
     def test_samples_copy(self):
         h = Histogram()
@@ -103,9 +115,3 @@ class TestHistogram:
         h.extend([4, 8, 15, 16, 23, 42])
         assert h.summary()["p50"] == h.p50()
         assert h.summary()["p99"] == h.p99()
-
-    def test_p50_p99_empty_raise(self):
-        with pytest.raises(ValueError):
-            Histogram().p50()
-        with pytest.raises(ValueError):
-            Histogram().p99()
