@@ -72,10 +72,32 @@ def _row_key(row: Mapping[str, object]) -> str:
     )
 
 
+def selftest_record(result: "SelftestResult") -> Dict[str, object]:  # noqa: F821
+    """Serialise a sim-speed selftest sample for the baseline document.
+
+    The record rides along as an additive top-level ``selftest`` key:
+    ``check`` ignores it entirely (wall-clock is host-specific), while
+    :mod:`repro.bench.regress` compares ``engine_cycles_per_sec`` with
+    its own generous band to flag simulator slowdowns.
+    """
+    return {
+        "size_bytes": result.size_bytes,
+        "threads": result.threads,
+        "repeats": result.repeats,
+        "median_cycles": result.median_cycles,
+        "engine_cycles": result.engine_cycles,
+        "engine_seconds": round(result.engine_seconds, 3),
+        "engine_cycles_per_sec": round(result.engine_cycles_per_sec, 1),
+        "wall_seconds": round(result.wall_seconds, 3),
+        "cycles_per_sec": round(result.cycles_per_sec, 1),
+    }
+
+
 def snapshot(
     runs: Mapping[int, "FigureRun"],  # noqa: F821 - repro.bench.runner.FigureRun
     quick: bool,
     jobs: int,
+    selftest: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Serialise figure runs into the baseline document structure."""
     figures: Dict[str, object] = {}
@@ -85,13 +107,16 @@ def snapshot(
             "elapsed_seconds": round(run.elapsed, 3),
             "rows": [asdict(row) for row in run.rows],
         }
-    return {
+    document: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "benchmark": "skipit-bench",
         "quick": quick,
         "jobs": jobs,
         "figures": figures,
     }
+    if selftest is not None:
+        document["selftest"] = dict(selftest)
+    return document
 
 
 def write(path: str, document: Mapping[str, object]) -> None:
@@ -122,7 +147,9 @@ def check(
 
     Only figures present in both documents (and in *figures*, when given)
     are compared, so a partial run (``--fig 12 --check full.json``) checks
-    just its own slice.  An empty return value means the check passed.
+    just its own slice.  The ``selftest`` section is deliberately ignored
+    here — it is wall-clock and host-specific; :mod:`repro.bench.regress`
+    owns that comparison.  An empty return value means the check passed.
     """
     problems: List[str] = []
     if baseline.get("schema") != SCHEMA_VERSION:

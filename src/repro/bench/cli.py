@@ -205,6 +205,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="report simulator speed (cycles/sec) on a fixed fig-9 point "
         "and exit",
     )
+    parser.add_argument(
+        "--with-selftest",
+        action="store_true",
+        help="also sample simulator speed and record it in the --json "
+        "baseline (regress compares it with a generous band)",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         from repro.bench.selftest import format_selftest, run_selftest
@@ -239,7 +245,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")
 
     status = 0
-    document = baseline.snapshot(runs, quick=args.quick, jobs=jobs)
+    selftest = None
+    if args.with_selftest:
+        from repro.bench.selftest import format_selftest, run_selftest
+
+        sample = run_selftest()
+        print("\n" + format_selftest(sample))
+        selftest = baseline.selftest_record(sample)
+    document = baseline.snapshot(
+        runs, quick=args.quick, jobs=jobs, selftest=selftest
+    )
     if args.json:
         baseline.write(args.json, document)
         print(f"\nbaseline written to {args.json}")

@@ -42,9 +42,15 @@ from repro.bench.baseline import (
 #: deterministic, so any delta at all is a code change speaking
 DEFAULT_REL_TOL = baseline_mod.DEFAULT_REL_TOL
 
+#: tolerance for the sim-speed selftest: wall-clock on a shared host is
+#: noisy, so only a large drop (the kind a hot-path regression causes)
+#: should turn the check red
+SELFTEST_REL_TOL = 0.5
+
 #: which way each compared field should move; unknown fields are neutral
 FIELD_DIRECTION: Dict[str, str] = {
     "throughput_mops": "higher",
+    "engine_cycles_per_sec": "higher",
     "median_cycles": "lower",
     "stdev_cycles": "neutral",
     "fences": "lower",
@@ -207,7 +213,49 @@ def compare(
                         kind=_classify(name, rel),
                     )
                 )
+    _compare_selftest(report, current, baseline)
     return report
+
+
+def _compare_selftest(
+    report: RegressReport,
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+) -> None:
+    """Compare the sim-speed selftest sections, when the baseline has one.
+
+    Wall-clock speed is host-noise territory, so this uses its own
+    generous ``SELFTEST_REL_TOL`` band rather than the figure tolerance:
+    only a drop big enough to signal a hot-path regression goes red
+    (figure 0, row ``selftest`` in the report).
+    """
+    base_st = baseline.get("selftest")
+    if base_st is None:
+        return
+    cur_st = current.get("selftest")
+    if cur_st is None:
+        report.problems.append(
+            "baseline has a selftest section but the current run does not"
+        )
+        return
+    name = "engine_cycles_per_sec"
+    b = float(base_st.get(name, 0.0))
+    c = float(cur_st.get(name, 0.0))
+    report.rows_compared += 1
+    if abs(c - b) <= SELFTEST_REL_TOL * max(abs(b), abs(c)) + 1e-9:
+        return
+    rel = (c - b) / abs(b) if b else float("inf")
+    report.deltas.append(
+        FieldDelta(
+            figure=0,
+            row="selftest",
+            field=name,
+            baseline=b,
+            current=c,
+            rel_delta=rel,
+            kind=_classify(name, rel),
+        )
+    )
 
 
 def run_and_compare(
@@ -236,7 +284,15 @@ def run_and_compare(
         )
         return report
     runs = run_figures(wanted, quick=quick, jobs=jobs, progress=progress)
-    current = baseline_mod.snapshot(runs, quick=quick, jobs=jobs)
+    selftest = None
+    if document.get("selftest") is not None:
+        # the baseline tracks sim speed: sample it on this host too
+        from repro.bench.selftest import run_selftest
+
+        if progress is not None:
+            progress("selftest: sampling simulator speed")
+        selftest = baseline_mod.selftest_record(run_selftest())
+    current = baseline_mod.snapshot(runs, quick=quick, jobs=jobs, selftest=selftest)
     return compare(
         current,
         document,

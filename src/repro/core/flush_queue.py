@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, Dict, List
 
 from repro.tilelink.permissions import Cap, Perm
 
@@ -78,7 +79,11 @@ class FlushQueue:
         if depth < 1:
             raise ValueError("flush queue depth must be >= 1")
         self.depth = depth
-        self._entries: List[FlushRequest] = []
+        self._entries: Deque[FlushRequest] = deque()
+        # pending entries per line, so has_line is an O(1) dict probe and
+        # the targeted-downgrade scans can bail out without walking the
+        # queue (downgrades never change an entry's address)
+        self._line_count: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -95,9 +100,18 @@ class FlushQueue:
         if self.full:
             raise RuntimeError("push into full flush queue")
         self._entries.append(request)
+        counts = self._line_count
+        counts[request.address] = counts.get(request.address, 0) + 1
 
     def pop(self) -> FlushRequest:
-        return self._entries.pop(0)
+        request = self._entries.popleft()
+        counts = self._line_count
+        remaining = counts[request.address] - 1
+        if remaining:
+            counts[request.address] = remaining
+        else:
+            del counts[request.address]
+        return request
 
     def peek(self) -> FlushRequest:
         return self._entries[0]
@@ -108,13 +122,17 @@ class FlushQueue:
         return list(self._entries)
 
     def entries_for(self, address: int) -> List[FlushRequest]:
+        if address not in self._line_count:
+            return []
         return [e for e in self._entries if e.address == address]
 
     def has_line(self, address: int) -> bool:
-        return any(e.address == address for e in self._entries)
+        return address in self._line_count
 
     def probe_invalidate(self, address: int, cap: Cap) -> int:
         """Downgrade all pending entries for *address*; return count touched."""
+        if address not in self._line_count:
+            return 0
         touched = 0
         for entry in self._entries:
             if entry.address == address:
@@ -124,6 +142,8 @@ class FlushQueue:
 
     def evict_invalidate(self, address: int) -> int:
         """Mark pending entries for *address* as misses after eviction."""
+        if address not in self._line_count:
+            return 0
         touched = 0
         for entry in self._entries:
             if entry.address == address:

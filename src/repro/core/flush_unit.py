@@ -21,7 +21,7 @@ the queue/FSHR occupancy and the round trip to L2.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.flush_queue import CboKind, FlushQueue, FlushRequest
 from repro.core.fshr import RELEASE_PARAM, Fshr, FshrState, release_shrink
@@ -53,6 +53,10 @@ class FlushUnit:
         self.queue = FlushQueue(fu.flush_queue_depth)
         self.fshrs: List[Fshr] = [Fshr(i) for i in range(fu.num_fshrs)]
         self._rr_next = 0  # round-robin allocation pointer (§5.2)
+        # line address -> busy FSHR; offer() nacks dependents, so at most
+        # one FSHR ever runs a given line — the map replaces the
+        # per-query linear scan over all eight FSHRs
+        self._fshr_by_line: Dict[int, Fshr] = {}
         self.flush_counter = 0
         self.stats = StatCounter()
         self.obs = None  # observability bus; attached via repro.obs.attach
@@ -81,21 +85,24 @@ class FlushUnit:
     @property
     def flush_rdy(self) -> bool:
         """Low while any FSHR may still mutate line state (§5.4.1)."""
-        return not any(f.holds_line_exclusive for f in self.fshrs)
+        invalid = FshrState.INVALID
+        ack = FshrState.ROOT_RELEASE_ACK
+        for fshr in self.fshrs:
+            state = fshr.state
+            if state is not invalid and state is not ack:
+                return False
+        return True
 
     # ------------------------------------------------------------- queries
     def pending_for(self, address: int) -> bool:
         """Any queue entry or busy FSHR for this line?"""
-        return self.queue.has_line(address) or self.fshr_for(address) is not None
+        return self.queue.has_line(address) or address in self._fshr_by_line
 
     def queue_pending_for(self, address: int) -> bool:
         return self.queue.has_line(address)
 
     def fshr_for(self, address: int) -> Optional[Fshr]:
-        for fshr in self.fshrs:
-            if fshr.busy and fshr.address == address:
-                return fshr
-        return None
+        return self._fshr_by_line.get(address)
 
     def store_may_proceed(self, address: int) -> bool:
         """The three store conditions of §5.3.
@@ -282,6 +289,10 @@ class FlushUnit:
 
     # ---------------------------------------------------------------- tick
     def tick(self, cycle: int) -> None:
+        # flush_counter == queued entries + busy FSHRs (offer increments,
+        # deliver_ack decrements), so zero means both sub-steps are no-ops
+        if not self.flush_counter:
+            return
         self._step_fshrs(cycle)
         self._try_dequeue(cycle)
 
@@ -292,13 +303,20 @@ class FlushUnit:
         queued request dequeues as soon as the §5.4 gates are open.  An
         ack-awaiting FSHR wakes only via channel D, which the L1 reports.
         """
-        if any(f.busy and not f.awaiting_ack for f in self.fshrs):
-            return cycle + 1
+        invalid = FshrState.INVALID
+        ack = FshrState.ROOT_RELEASE_ACK
+        has_free = False
+        for fshr in self.fshrs:
+            state = fshr.state
+            if state is invalid:
+                has_free = True
+            elif state is not ack:
+                return cycle + 1
         if (
-            not self.queue.empty
+            has_free
+            and not self.queue.empty
             and self.l1.probe_unit.probe_rdy
             and self.l1.wbu.wb_rdy
-            and any(not f.busy for f in self.fshrs)
         ):
             return cycle + 1
         return None
@@ -323,6 +341,7 @@ class FlushUnit:
             else self.params.line_bytes // 8
         )
         fshr.accept(request, fill_cycles)
+        self._fshr_by_line[request.address] = fshr
         self.stats.inc("fshr_allocated")
         if self.obs is not None:
             self.obs.transition(
@@ -340,8 +359,11 @@ class FlushUnit:
         return None
 
     def _step_fshrs(self, cycle: int) -> None:
+        invalid = FshrState.INVALID
+        ack = FshrState.ROOT_RELEASE_ACK
         for fshr in self.fshrs:
-            if not fshr.busy or fshr.awaiting_ack:
+            state = fshr.state
+            if state is invalid or state is ack:
                 continue
             request = fshr.request
             assert request is not None
@@ -395,21 +417,21 @@ class FlushUnit:
 
     # ----------------------------------------------------------------- ack
     def deliver_ack(self, address: int) -> None:
-        """Consume a RootReleaseAck for *address* (oldest awaiting FSHR)."""
-        for fshr in self.fshrs:
-            if fshr.awaiting_ack and fshr.address == address:
-                request = fshr.complete()
-                self.flush_counter -= 1
-                self.stats.inc("acks")
-                if request.kind is CboKind.CLEAN:
-                    self._maybe_set_skip(request)
-                if self.obs is not None:
-                    self.obs.close_span(
-                        self.l1.engine.cycle, f"cbo:{request.flush_id}"
-                    )
-                self.l1.engine.note_progress()
-                return
-        raise RuntimeError(f"RootReleaseAck for {address:#x} with no waiting FSHR")
+        """Consume a RootReleaseAck for *address* (its awaiting FSHR)."""
+        fshr = self._fshr_by_line.get(address)
+        if fshr is None or not fshr.awaiting_ack:
+            raise RuntimeError(
+                f"RootReleaseAck for {address:#x} with no waiting FSHR"
+            )
+        del self._fshr_by_line[address]
+        request = fshr.complete()
+        self.flush_counter -= 1
+        self.stats.inc("acks")
+        if request.kind is CboKind.CLEAN:
+            self._maybe_set_skip(request)
+        if self.obs is not None:
+            self.obs.close_span(self.l1.engine.cycle, f"cbo:{request.flush_id}")
+        self.l1.engine.note_progress()
 
     def _maybe_set_skip(self, request: FlushRequest) -> None:
         """After a completed CBO.CLEAN the line is persisted end to end.

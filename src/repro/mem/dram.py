@@ -38,12 +38,17 @@ class DramModel:
         engine.register(self)
 
     def tick(self, cycle: int) -> None:
-        for message in self.chan_a.drain_ready(cycle):
-            self._pending.append((cycle + self.latency, message))
-            self.engine.note_progress()
-        for message in self.chan_c.drain_ready(cycle):
-            self._pending.append((cycle + self.latency, message))
-            self.engine.note_progress()
+        # guarded per source so an idle DRAM costs three truthiness tests
+        if self.chan_a.pending:
+            for message in self.chan_a.drain_ready(cycle):
+                self._pending.append((cycle + self.latency, message))
+                self.engine.note_progress()
+        if self.chan_c.pending:
+            for message in self.chan_c.drain_ready(cycle):
+                self._pending.append((cycle + self.latency, message))
+                self.engine.note_progress()
+        if not self._pending:
+            return
         still_pending: List[Tuple[int, object]] = []
         for ready, request in self._pending:
             if ready > cycle:
@@ -83,9 +88,10 @@ class DramModel:
         """
         best: Optional[int] = None
         for channel in (self.chan_a, self.chan_c):
-            nxt = channel.next_event_cycle(cycle)
-            if nxt is not None and (best is None or nxt < best):
-                best = nxt
+            if channel.pending:
+                nxt = channel.pending[0][0]
+                if best is None or nxt < best:
+                    best = nxt
         for ready, _ in self._pending:
             if best is None or ready < best:
                 best = ready

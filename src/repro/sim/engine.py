@@ -180,13 +180,19 @@ class Engine:
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by *cycles* cycles."""
+        components = self._components
+        hooks = self._cycle_hooks
+        interval = self.watchdog_interval
         for _ in range(cycles):
-            self.cycle += 1
-            for component in self._components:
-                component.tick(self.cycle)
-            for hook in self._cycle_hooks:
-                hook(self.cycle)
-            self._check_watchdog()
+            cycle = self.cycle = self.cycle + 1
+            for component in components:
+                component.tick(cycle)
+            if hooks:
+                for hook in hooks:
+                    hook(cycle)
+            # inline watchdog check (the method call is per-cycle hot)
+            if interval and self.cycle - self._last_progress_cycle > interval:
+                self._check_watchdog()
 
     def next_event_cycle(self) -> Optional[int]:
         """Earliest future cycle at which any component may act.

@@ -30,7 +30,10 @@ class BeatChannel(Generic[M]):
         self.latency = latency
         self.obs = None  # observability bus; attached via repro.obs.attach
         self._busy_until = 0
-        self._in_flight: Deque[Tuple[int, M]] = deque()
+        #: in-flight (deliver_at, message) FIFO; public so consumers can
+        #: cheaply test truthiness before paying a drain call on an idle
+        #: channel (an idle channel must cost zero Python work per cycle)
+        self.pending: Deque[Tuple[int, M]] = deque()
 
     def beats_for(self, message: M) -> int:
         data = getattr(message, "data", None)
@@ -44,7 +47,7 @@ class BeatChannel(Generic[M]):
         beats = self.beats_for(message)
         self._busy_until = start + beats
         deliver_at = start + beats + self.latency - 1
-        self._in_flight.append((deliver_at, message))
+        self.pending.append((deliver_at, message))
         if self.obs is not None:
             from repro.obs.events import describe_message
 
@@ -68,15 +71,15 @@ class BeatChannel(Generic[M]):
 
     def pop_ready(self, now: int) -> Optional[M]:
         """Deliver the oldest message whose transfer completed by *now*."""
-        if self._in_flight and self._in_flight[0][0] <= now:
-            return self._in_flight.popleft()[1]
+        if self.pending and self.pending[0][0] <= now:
+            return self.pending.popleft()[1]
         return None
 
     def drain_ready(self, now: int) -> List[M]:
         """Deliver every message whose transfer completed by *now*."""
         ready: List[M] = []
-        while self._in_flight and self._in_flight[0][0] <= now:
-            ready.append(self._in_flight.popleft()[1])
+        while self.pending and self.pending[0][0] <= now:
+            ready.append(self.pending.popleft()[1])
         return ready
 
     def next_event_cycle(self, now: int) -> Optional[int]:
@@ -86,13 +89,13 @@ class BeatChannel(Generic[M]):
         are FIFO with monotonically non-decreasing ``deliver_at``, so the
         head's delivery cycle is the channel's next event.
         """
-        if not self._in_flight:
+        if not self.pending:
             return None
-        return self._in_flight[0][0]
+        return self.pending[0][0]
 
     @property
     def idle(self) -> bool:
-        return not self._in_flight
+        return not self.pending
 
     def __len__(self) -> int:
-        return len(self._in_flight)
+        return len(self.pending)

@@ -24,6 +24,7 @@ class LineCache(Generic[R]):
         self._sets: List["OrderedDict[int, R]"] = [
             OrderedDict() for _ in range(geometry.num_sets)
         ]
+        self._resident = 0  # total lines, so __len__ skips the per-set sum
 
     def _set_of(self, address: int) -> "OrderedDict[int, R]":
         return self._sets[self.geometry.set_index(address)]
@@ -37,20 +38,26 @@ class LineCache(Generic[R]):
     def put(self, address: int, record: R) -> Optional[Tuple[int, R]]:
         """Insert (MRU); return the evicted (address, record) if the set spilled."""
         bucket = self._set_of(address)
+        if address not in bucket:
+            self._resident += 1
         bucket[address] = record
         bucket.move_to_end(address)
         if len(bucket) > self.geometry.ways:
+            self._resident -= 1
             return bucket.popitem(last=False)
         return None
 
     def remove(self, address: int) -> Optional[R]:
-        return self._set_of(address).pop(address, None)
+        record = self._set_of(address).pop(address, None)
+        if record is not None:
+            self._resident -= 1
+        return record
 
     def __contains__(self, address: int) -> bool:
         return address in self._set_of(address)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._sets)
+        return self._resident
 
     def items(self) -> Iterator[Tuple[int, R]]:
         for bucket in self._sets:

@@ -30,6 +30,9 @@ from repro.uarch.requests import MemOp, MemRequest
 
 RETRY_DELAY = 2
 
+#: per-op stat key, precomputed once ("cbo.clean" -> "cbo_clean")
+_STAT_KEY = {op: op.value.replace(".", "_") for op in MemOp}
+
 
 @dataclass
 class Instr:
@@ -74,9 +77,11 @@ class _Status(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     instr: Instr
+    op: MemOp  # == instr.op, denormalized for the per-cycle window walks
+    line: int = -1  # line address of instr.address (valid for memory ops)
     status: _Status = _Status.WAITING
     retry_at: int = 0
     done_at: Optional[int] = None  # for fixed-latency completions
@@ -107,16 +112,32 @@ class Core:
         self.obs = None  # observability bus; attached via repro.obs.attach
         self.finish_cycle: Optional[int] = None
         self._by_req: Dict[int, _Slot] = {}
+        self._line_of = params.l1.line_address
+        # count of FIRED slots with a fixed-latency done_at pending; all
+        # of them live inside the ROB window (commit stops at the first
+        # non-done slot, so fired slots can never fall behind the head)
+        self._timed_inflight = 0
+        # index of the last LOAD in the program: past it, a blocked
+        # window can stop scanning early (only loads fire out of order)
+        self._max_load_index = -1
         l1.resp_sink = self
         engine.register(self)
 
     # ------------------------------------------------------------- program
     def run_program(self, program: List[Instr]) -> None:
         """Load a fresh program; the engine then executes it."""
-        self.slots = [_Slot(instr) for instr in program]
+        line_of = self._line_of
+        self.slots = [
+            _Slot(instr, instr.op, line_of(instr.address)) for instr in program
+        ]
         self.head = 0
         self.finish_cycle = None
         self._by_req.clear()
+        self._timed_inflight = 0
+        self._max_load_index = -1
+        for index, instr in enumerate(program):
+            if instr.op is MemOp.LOAD:
+                self._max_load_index = index
 
     @property
     def done(self) -> bool:
@@ -128,88 +149,180 @@ class Core:
 
     # ---------------------------------------------------------------- tick
     def tick(self, cycle: int) -> None:
-        if self.done:
+        """One cycle: complete timed ops, fire the window, commit.
+
+        A single forward pass over the ROB window fuses what used to be
+        separate complete/fire sweeps.  Eligibility of a slot depends
+        only on *older* slots, and walking in program order applies an
+        older slot's completion (or fence commit) before any younger
+        slot checks it — exactly the order the two-pass version
+        produced — while the blocking state (``all_older_done``, older
+        fence, older STQ lines) is carried forward instead of rescanned
+        per slot (the old O(n²) ``_eligible`` walk).
+        """
+        slots = self.slots
+        head = self.head
+        if head >= len(slots):
             return
-        self._complete_timed(cycle)
-        self._fire_window(cycle)
+        waiting = _Status.WAITING
+        fired_st = _Status.FIRED
+        done_st = _Status.DONE
+        fence_op = MemOp.FENCE
+        load_op = MemOp.LOAD
+        width = self.params.lsu_fire_width
+        max_load = self._max_load_index
+        note_progress = self.engine.note_progress
+        end = head + self.rob_entries
+        if end > len(slots):
+            end = len(slots)
+        fired = 0
+        timed_ahead = self._timed_inflight
+        all_older_done = True
+        older_fence = False
+        older_stq_lines = None
+        for index in range(head, end):
+            # Nothing ahead can act: no timed completions left in the
+            # window and no slot can fire (width exhausted, or firing is
+            # blocked and no out-of-order load remains ahead).
+            if timed_ahead <= 0 and (
+                fired >= width
+                or (not all_older_done and (older_fence or index > max_load))
+            ):
+                break
+            slot = slots[index]
+            status = slot.status
+            if status is fired_st:
+                done_at = slot.done_at
+                if done_at is not None:
+                    timed_ahead -= 1
+                    if cycle >= done_at:
+                        slot.status = status = done_st
+                        self._timed_inflight -= 1
+                        note_progress()
+            elif status is waiting and fired < width and cycle >= slot.retry_at:
+                op = slot.op
+                if op is fence_op:
+                    if all_older_done:
+                        self._try_fence(index, slot, cycle)
+                        status = slot.status
+                elif op is load_op:
+                    if not older_fence and (
+                        older_stq_lines is None
+                        or slot.line not in older_stq_lines
+                    ):
+                        self._fire(slot, cycle)
+                        status = slot.status
+                        fired += 1
+                elif all_older_done:
+                    self._fire(slot, cycle)
+                    status = slot.status
+                    fired += 1
+            if status is not done_st:
+                all_older_done = False
+                op = slot.op
+                if op is fence_op:
+                    older_fence = True
+                elif op.is_stq:
+                    if older_stq_lines is None:
+                        older_stq_lines = {slot.line}
+                    else:
+                        older_stq_lines.add(slot.line)
         self._commit(cycle)
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest future cycle this core could act (fast-forward hook).
 
-        Internal timed events — fixed-latency completions and nack
-        retries — are reported directly.  A slot that is waiting on other
-        instructions (or a fence waiting on the flush unit / MSHRs / WBU)
-        is unblocked only by those events or by L1 responses, which are
-        other components' events; it contributes nothing here.
+        Timed completions of fired slots and nack retries of slots that
+        are *currently eligible to fire* are reported.  A slot blocked by
+        older instructions contributes nothing — it is unblocked only by
+        an older completion, and every such completion is itself an
+        event: timed ones are reported here, L1 grants and flush acks by
+        the responding components.  The engine therefore steps on the
+        unblocking cycle, re-evaluates this hook, and the formerly
+        blocked slot's retry is picked up then; skipped cycles stay
+        strict no-ops.
         """
-        if self.done:
+        slots = self.slots
+        head = self.head
+        if head >= len(slots):
             return None
+        waiting = _Status.WAITING
+        fired_st = _Status.FIRED
+        done_st = _Status.DONE
+        fence_op = MemOp.FENCE
+        load_op = MemOp.LOAD
+        max_load = self._max_load_index
+        floor = cycle + 1
         best: Optional[int] = None
-        # Single pass mirroring _eligible: track the blocking state older
-        # slots impose on younger ones instead of rescanning per slot.
+        # Single pass mirroring tick's fused walk: track the blocking
+        # state older slots impose on younger ones and bail out once no
+        # timed completion remains ahead and nothing younger can fire.
+        timed_ahead = self._timed_inflight
         all_older_done = True
         older_fence = False
-        older_stq_lines = set()
-        line_of = self.params.l1.line_address
-        for slot in self.slots[self.head : self.head + self.rob_entries]:
-            if slot.status is _Status.FIRED:
-                if slot.done_at is not None:
-                    when = max(cycle + 1, slot.done_at)
+        older_stq_lines = None
+        end = head + self.rob_entries
+        if end > len(slots):
+            end = len(slots)
+        for index in range(head, end):
+            if (
+                timed_ahead <= 0
+                and not all_older_done
+                and (older_fence or index > max_load)
+            ):
+                break
+            slot = slots[index]
+            status = slot.status
+            if status is fired_st:
+                done_at = slot.done_at
+                if done_at is not None:
+                    timed_ahead -= 1
+                    when = done_at if done_at > floor else floor
                     if best is None or when < best:
                         best = when
-            elif slot.status is _Status.WAITING:
-                op = slot.instr.op
-                if slot.retry_at > cycle + 1:
-                    if best is None or slot.retry_at < best:
-                        best = slot.retry_at
-                elif op is MemOp.FENCE:
+            elif status is waiting:
+                op = slot.op
+                if op is fence_op:
                     if all_older_done and self._fence_blocker() is None:
-                        return cycle + 1
-                elif op is MemOp.LOAD:
+                        return floor
+                elif op is load_op:
                     if not older_fence and (
-                        line_of(slot.instr.address) not in older_stq_lines
+                        older_stq_lines is None
+                        or slot.line not in older_stq_lines
                     ):
-                        return cycle + 1
+                        retry = slot.retry_at
+                        if retry <= floor:
+                            return floor
+                        if best is None or retry < best:
+                            best = retry
                 elif all_older_done:
-                    return cycle + 1
-            if slot.status is not _Status.DONE:
+                    retry = slot.retry_at
+                    if retry <= floor:
+                        return floor
+                    if best is None or retry < best:
+                        best = retry
+            if status is not done_st:
                 all_older_done = False
-                op = slot.instr.op
-                if op is MemOp.FENCE:
+                op = slot.op
+                if op is fence_op:
                     older_fence = True
-                elif op.is_stq:
-                    older_stq_lines.add(line_of(slot.instr.address))
+                elif op.is_stq and index < max_load:
+                    # the line set only gates younger *loads*; past the
+                    # program's last load nothing ever consults it
+                    if older_stq_lines is None:
+                        older_stq_lines = {slot.line}
+                    else:
+                        older_stq_lines.add(slot.line)
         return best
 
-    def _complete_timed(self, cycle: int) -> None:
-        for slot in self.slots[self.head : self.head + self.rob_entries]:
-            if (
-                slot.status is _Status.FIRED
-                and slot.done_at is not None
-                and cycle >= slot.done_at
-            ):
-                slot.status = _Status.DONE
-                self.engine.note_progress()
-
-    def _fire_window(self, cycle: int) -> None:
-        fired = 0
-        window = self.slots[self.head : self.head + self.rob_entries]
-        for offset, slot in enumerate(window):
-            if fired >= self.params.lsu_fire_width:
-                break
-            if slot.status is not _Status.WAITING or cycle < slot.retry_at:
-                continue
-            index = self.head + offset
-            if slot.instr.op is MemOp.FENCE:
-                self._try_fence(index, slot, cycle)
-                continue
-            if not self._eligible(index, slot):
-                continue
-            self._fire(slot, cycle)
-            fired += 1
-
     def _eligible(self, index: int, slot: _Slot) -> bool:
+        """Reference form of the fire-ordering rules (§3.1-§3.2).
+
+        ``tick`` enforces the same rules with carried-forward blocking
+        state instead of this per-slot rescan; the method is kept as the
+        readable specification and is pinned by the load-bypass ordering
+        unit tests.
+        """
         instr = slot.instr
         if instr.op is MemOp.LOAD:
             line = self.params.l1.line_address(instr.address)
@@ -219,7 +332,7 @@ class Core:
                 o = older.instr
                 if o.op is MemOp.FENCE:
                     return False
-                if o.op.is_stq and o.op is not MemOp.FENCE:
+                if o.op.is_stq:
                     if self.params.l1.line_address(o.address) == line:
                         return False
             return True
@@ -238,22 +351,12 @@ class Core:
             return "wbu"
         return None
 
-    def _fence_ready(self, index: int) -> bool:
-        """Pure form of the fence commit conditions (for the event horizon)."""
-        return (
-            all(
-                older.status is _Status.DONE
-                for older in self.slots[self.head : index]
-            )
-            and self._fence_blocker() is None
-        )
-
     def _try_fence(self, index: int, slot: _Slot, cycle: int) -> None:
-        """Fence commit conditions (§5.3): prior ops done, no pending flushes."""
-        if not all(
-            older.status is _Status.DONE for older in self.slots[self.head : index]
-        ):
-            return
+        """Fence commit conditions (§5.3): prior ops done, no pending flushes.
+
+        The caller (``tick``'s fused walk) guarantees every older slot
+        is already DONE; only the flush/MSHR/WBU blockers remain.
+        """
         blocker = self._fence_blocker()
         if blocker is not None:
             # Counted once per fence, not once per waiting cycle, so the
@@ -299,9 +402,10 @@ class Core:
             else:
                 # stores/CBOs are complete once the cache accepts them
                 slot.done_at = cycle + 1
+            self._timed_inflight += 1
         else:  # OK_LATER: load data arrives via mem_response
             self._by_req[request.req_id] = slot
-        self.stats.inc(instr.op.value.replace(".", "_"))
+        self.stats.inc(_STAT_KEY[instr.op])
 
     def _commit(self, cycle: int) -> None:
         while self.head < len(self.slots) and (

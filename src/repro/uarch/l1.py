@@ -75,6 +75,11 @@ class L1DataCache:
         self._obs_seq = 0
         self._reserved_ways: Set[Tuple[int, int]] = set()
         self._mshr_victim_addr = {}
+        # line address -> allocated MSHR (at most one MSHR per line);
+        # maintained by _miss/_replay_one, replaces O(mshrs) scans
+        self._mshr_by_line: Dict[int, Mshr] = {}
+        # busy-MSHR count so an idle tick skips the state walk entirely
+        self._mshr_active = 0
         # channels, wired by the SoC
         self.chan_a: Optional[BeatChannel] = None
         self.chan_b: Optional[BeatChannel] = None
@@ -99,7 +104,12 @@ class L1DataCache:
         self.stats.inc("flush_invalidations")
 
     def mshr_blocks_probe(self, address: int) -> bool:
-        """§3.3 ``mshr_rdy``: stall probes while committed stores replay."""
+        """§3.3 ``mshr_rdy``: stall probes while committed stores replay.
+
+        Scans the MSHR list (rather than probing ``_mshr_by_line``) so
+        that externally injected MSHR stand-ins are honoured; only called
+        while a probe is actually in flight, so it is not hot.
+        """
         return any(m.matches(address) and m.replaying for m in self.mshrs)
 
     # ------------------------------------------------------------ LSU port
@@ -118,7 +128,7 @@ class L1DataCache:
         # A CBO.X racing this core's own in-flight fill of the line would
         # sample metadata that the grant is about to change (and could
         # miss stores buffered in the MSHR's RPQ); nack conservatively.
-        if any(m.matches(line) for m in self.mshrs):
+        if line in self._mshr_by_line:
             self.stats.inc("cbo_nack_mshr")
             return FireOutcome(FireStatus.NACK)
         hit = self.meta.lookup(line)
@@ -134,12 +144,12 @@ class L1DataCache:
         return FireOutcome(FireStatus.OK_NOW)
 
     def _fire_load(self, request: MemRequest, line: int) -> FireOutcome:
-        hit = self.meta.lookup(line)
-        if hit is not None:
-            way, entry = hit
-            set_idx = self.geometry.set_index(line)
+        meta = self.meta
+        way = meta.hit_way(line)
+        if way >= 0:
+            set_idx = line // meta.line_bytes % meta.num_sets
             value = self.data.read_word(set_idx, way, request.address - line)
-            self.meta.touch(line, way)
+            meta.touch_slot(set_idx * meta.ways + way)
             self.stats.inc("load_hits")
             return FireOutcome(FireStatus.OK_NOW, value=value)
         forwarded = self.flush_unit.load_forward(line)
@@ -155,40 +165,47 @@ class L1DataCache:
         return self._miss(request, line, want=Perm.BRANCH)
 
     def _fire_store(self, request: MemRequest, line: int) -> FireOutcome:
-        if self.flush_unit.pending_for(line) and not self.flush_unit.store_may_proceed(
-            line
+        flush_unit = self.flush_unit
+        if (
+            flush_unit.flush_counter
+            and flush_unit.pending_for(line)
+            and not flush_unit.store_may_proceed(line)
         ):
             self.stats.inc("store_nack_flush")
             return FireOutcome(FireStatus.NACK)
-        hit = self.meta.lookup(line)
-        if hit is not None and hit[1].perm is Perm.TRUNK:
-            way, entry = hit
-            set_idx = self.geometry.set_index(line)
-            if request.op is MemOp.CBO_ZERO:
-                # cbo.zero: write a whole line of zeros (CMO extension)
-                self.data.write_line(set_idx, way, bytes(self.geometry.line_bytes))
-            else:
-                self.data.write_word(
-                    set_idx, way, request.address - line, request.data
-                )
-            entry.dirty = True
-            entry.skip = False  # a dirty line is never persisted (§6.2)
-            self.meta.touch(line, way)
-            self.stats.inc("store_hits")
-            return FireOutcome(FireStatus.OK_NOW)
-        self.stats.inc("store_upgrades" if hit else "store_misses")
+        meta = self.meta
+        way = meta.hit_way(line)
+        if way >= 0:
+            set_idx = line // meta.line_bytes % meta.num_sets
+            slot = set_idx * meta.ways + way
+            if meta.perms[slot] == Perm.TRUNK:
+                if request.op is MemOp.CBO_ZERO:
+                    # cbo.zero: write a whole line of zeros (CMO extension)
+                    self.data.write_line(
+                        set_idx, way, bytes(self.geometry.line_bytes)
+                    )
+                else:
+                    self.data.write_word(
+                        set_idx, way, request.address - line, request.data
+                    )
+                meta.dirtys[slot] = 1
+                meta.skips[slot] = 0  # a dirty line is never persisted (§6.2)
+                meta.touch_slot(slot)
+                self.stats.inc("store_hits")
+                return FireOutcome(FireStatus.OK_NOW)
+        self.stats.inc("store_upgrades" if way >= 0 else "store_misses")
         return self._miss(request, line, want=Perm.TRUNK)
 
     def _miss(self, request: MemRequest, line: int, want: Perm) -> FireOutcome:
         later = FireStatus.OK_LATER if request.op is MemOp.LOAD else FireStatus.OK_NOW
-        for mshr in self.mshrs:
-            if mshr.matches(line):
-                if mshr.can_accept_secondary(request):
-                    mshr.push_secondary(request)
-                    self.stats.inc("mshr_secondary")
-                    return FireOutcome(later)
-                self.stats.inc("mshr_secondary_nack")
-                return FireOutcome(FireStatus.NACK)
+        mshr = self._mshr_by_line.get(line)
+        if mshr is not None:
+            if mshr.can_accept_secondary(request):
+                mshr.push_secondary(request)
+                self.stats.inc("mshr_secondary")
+                return FireOutcome(later)
+            self.stats.inc("mshr_secondary_nack")
+            return FireOutcome(FireStatus.NACK)
         mshr = next((m for m in self.mshrs if not m.busy), None)
         if mshr is None:
             self.stats.inc("mshr_full_nack")
@@ -221,6 +238,8 @@ class L1DataCache:
                 set_idx, victim_entry
             )
         mshr.allocate(request, line, want, victim_way, needs_evict, grow)
+        self._mshr_by_line[line] = mshr
+        self._mshr_active += 1
         self.stats.inc("mshr_allocated")
         if self.obs is not None:
             key = f"mshr:l1{self.agent_id}:{self._obs_seq}"
@@ -240,32 +259,47 @@ class L1DataCache:
 
     # ---------------------------------------------------------------- tick
     def tick(self, cycle: int) -> None:
-        self._drain_channel_d(cycle)
-        self.probe_unit.tick(cycle)
-        self.flush_unit.tick(cycle)
-        self._step_mshrs(cycle)
+        # Each sub-unit is guarded so a fully idle cache costs four
+        # attribute checks per cycle rather than four no-op walks.
+        if self.chan_d.pending:
+            self._drain_channel_d(cycle)
+        probe_unit = self.probe_unit
+        if probe_unit.current is not None or self.chan_b.pending:
+            probe_unit.tick(cycle)
+        flush_unit = self.flush_unit
+        if flush_unit.flush_counter:
+            flush_unit.tick(cycle)
+        if self._mshr_active:
+            self._step_mshrs(cycle)
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest future cycle this cache could act (fast-forward hook)."""
         # An in-flight probe acts (or counts a stalled cycle) every tick.
-        if not self.probe_unit.probe_rdy:
+        if self.probe_unit.current is not None:
             return cycle + 1
-        for mshr in self.mshrs:
-            if mshr.state in (MshrState.ACQUIRE, MshrState.REPLAY):
-                return cycle + 1
-            if (
-                mshr.state is MshrState.EVICT_WAIT
-                and self.wbu.wb_rdy
-                and self.flush_unit.flush_rdy
-            ):
-                return cycle + 1
-        best = self.flush_unit.next_event_cycle(cycle)
+        if self._mshr_active:
+            for mshr in self.mshrs:
+                state = mshr.state
+                if state is MshrState.ACQUIRE or state is MshrState.REPLAY:
+                    return cycle + 1
+                if (
+                    state is MshrState.EVICT_WAIT
+                    and self.wbu.wb_rdy
+                    and self.flush_unit.flush_rdy
+                ):
+                    return cycle + 1
+        best = (
+            self.flush_unit.next_event_cycle(cycle)
+            if self.flush_unit.flush_counter
+            else None
+        )
         if best == cycle + 1:
             return best
         for channel in (self.chan_d, self.chan_b):
-            nxt = channel.next_event_cycle(cycle) if channel is not None else None
-            if nxt is not None and (best is None or nxt < best):
-                best = nxt
+            if channel is not None and channel.pending:
+                nxt = channel.pending[0][0]
+                if best is None or nxt < best:
+                    best = nxt
         return best
 
     def _drain_channel_d(self, cycle: int) -> None:
@@ -282,14 +316,9 @@ class L1DataCache:
             self.engine.note_progress()
 
     def _handle_grant(self, grant: GrantData, cycle: int) -> None:
-        mshr = next(
-            (
-                m
-                for m in self.mshrs
-                if m.matches(grant.address) and m.state is MshrState.WAIT_GRANT
-            ),
-            None,
-        )
+        mshr = self._mshr_by_line.get(grant.address)
+        if mshr is not None and mshr.state is not MshrState.WAIT_GRANT:
+            mshr = None
         if mshr is None:
             raise RuntimeError(f"GrantData for {grant.address:#x} with no MSHR")
         set_idx = self.geometry.set_index(grant.address)
@@ -347,6 +376,8 @@ class L1DataCache:
         if request is None:
             set_idx = self.geometry.set_index(mshr.address)
             self._reserved_ways.discard((set_idx, mshr.victim_way))
+            del self._mshr_by_line[mshr.address]
+            self._mshr_active -= 1
             mshr.free()
             if self.obs is not None and mshr.index in self._obs_mshr_keys:
                 self.obs.close_span(
@@ -378,7 +409,7 @@ class L1DataCache:
     def quiescent(self) -> bool:
         """True when nothing is in flight (tests/invariants use this)."""
         return (
-            all(not m.busy for m in self.mshrs)
+            not self._mshr_active
             and not self.flush_unit.flushing
             and self.wbu.wb_rdy
             and self.probe_unit.probe_rdy

@@ -28,6 +28,7 @@ dirty, i.e. not yet persisted.
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
@@ -91,6 +92,7 @@ class _L2Mshr:
     kind: _MshrKind
     client: int
     address: int
+    slot: int = -1  # index in the MSHR file, set at allocation
     state: _MshrState = _MshrState.START
     grow: Grow = Grow.NtoB
     cbo: ProbeAckParam = ProbeAckParam.NORMAL  # which RootRelease kind
@@ -122,6 +124,17 @@ class InclusiveL2Cache:
         self.mshrs: List[Optional[_L2Mshr]] = [None] * params.num_l2_mshrs
         self.list_buffer: Deque[Tuple[str, object]] = deque()
         self._ingress: Deque[Tuple[int, str, object]] = deque()  # (ready, kind, msg)
+        # busy-slot count plus target/victim address maps so idle ticks
+        # and per-message lookups skip the 64-slot scans; _active_slots
+        # is kept sorted so iterating it visits MSHRs in slot order,
+        # exactly like walking self.mshrs
+        self._n_active = 0
+        self._active_slots: List[int] = []
+        self._mshr_by_addr: Dict[int, _L2Mshr] = {}
+        self._victim_by_addr: Dict[int, _L2Mshr] = {}
+        # per-set resident addresses in self.lines insertion order, so
+        # victim choice stays identical to the old whole-dict filter
+        self._set_members: Dict[int, List[int]] = {}
         self.stats = StatCounter()
         self.obs = None  # observability bus; attached via repro.obs.attach
         # Per-slot (mshr object, span key, last seen state) for the poller:
@@ -140,66 +153,74 @@ class InclusiveL2Cache:
         return self.lines.get(address)
 
     def _mshr_on(self, address: int) -> Optional[_L2Mshr]:
-        for mshr in self.mshrs:
-            if mshr is not None and mshr.address == address:
-                return mshr
-        return None
+        return self._mshr_by_addr.get(address)
 
     def _busy_lines(self) -> Set[int]:
-        busy = set()
-        for mshr in self.mshrs:
-            if mshr is not None:
-                busy.add(mshr.address)
-                if mshr.victim_address is not None:
-                    busy.add(mshr.victim_address)
-        return busy
+        return set(self._mshr_by_addr) | set(self._victim_by_addr)
 
     def _set_occupancy(self, address: int) -> List[int]:
         """Addresses of resident lines mapping to *address*'s set."""
-        set_idx = self.geometry.set_index(address)
-        return [
-            a for a in self.lines if self.geometry.set_index(a) == set_idx
-        ]
+        return self._set_members.get(self.geometry.set_index(address), [])
+
+    def _install_line(self, address: int, line: L2Line) -> None:
+        """Install into the BankedStore, keeping the per-set index current."""
+        self.lines[address] = line
+        self._set_members.setdefault(self.geometry.set_index(address), []).append(
+            address
+        )
+
+    def _remove_line(self, address: int) -> None:
+        del self.lines[address]
+        self._set_members[self.geometry.set_index(address)].remove(address)
 
     # ---------------------------------------------------------------- tick
     def tick(self, cycle: int) -> None:
+        # Each sub-step is guarded so a fully idle L2 costs a handful of
+        # truthiness tests per cycle instead of five deque/slot walks.
         self._drain_clients(cycle)
-        self._drain_dram(cycle)
-        self._admit_ingress(cycle)
-        self._drain_list_buffer(cycle)
-        self._step_mshrs(cycle)
+        if self.dram.chan_d.pending:
+            self._drain_dram(cycle)
+        if self._ingress:
+            self._admit_ingress(cycle)
+        if self.list_buffer and self._n_active < len(self.mshrs):
+            # nothing in the buffer can allocate while every slot is busy
+            self._drain_list_buffer(cycle)
+        if self._n_active:
+            self._step_mshrs(cycle)
         if self.obs is not None:
             self._obs_poll(cycle)
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest future cycle this cache could act (fast-forward hook)."""
-        best: Optional[int] = None
-
-        def consider(nxt: Optional[int]) -> None:
-            nonlocal best
-            if nxt is not None and (best is None or nxt < best):
-                best = nxt
-
-        for mshr in self.mshrs:
-            if mshr is None:
-                continue
-            if mshr.state in (_MshrState.START, _MshrState.DONE):
-                return cycle + 1
-            if (
-                mshr.state in (_MshrState.EVICT_PROBE, _MshrState.PROBE)
-                and not mshr.awaiting_acks
-            ):
-                return cycle + 1
-        if self.list_buffer and any(m is None for m in self.mshrs):
-            # a freed MSHR slot lets a buffered request allocate next tick
+        if self._n_active:
+            for slot in self._active_slots:
+                mshr = self.mshrs[slot]
+                state = mshr.state
+                if state is _MshrState.START or state is _MshrState.DONE:
+                    return cycle + 1
+                if (
+                    (state is _MshrState.EVICT_PROBE or state is _MshrState.PROBE)
+                    and not mshr.awaiting_acks
+                ):
+                    return cycle + 1
+        if self.list_buffer and self._n_active < len(self.mshrs):
+            # a free MSHR slot lets a buffered request allocate next tick
             return cycle + 1
+        best: Optional[int] = None
         for ready, _, _ in self._ingress:
-            consider(ready)
+            if best is None or ready < best:
+                best = ready
         for link in self.links:
-            consider(link.a.next_event_cycle(cycle))
-            consider(link.c.next_event_cycle(cycle))
-            consider(link.e.next_event_cycle(cycle))
-        consider(self.dram.chan_d.next_event_cycle(cycle))
+            for channel in (link.a, link.c, link.e):
+                if channel.pending:
+                    nxt = channel.pending[0][0]
+                    if best is None or nxt < best:
+                        best = nxt
+        dram_pending = self.dram.chan_d.pending
+        if dram_pending:
+            nxt = dram_pending[0][0]
+            if best is None or nxt < best:
+                best = nxt
         return best
 
     def _obs_poll(self, cycle: int) -> None:
@@ -236,39 +257,46 @@ class InclusiveL2Cache:
     # --------------------------------------------------------- channel I/O
     def _drain_clients(self, cycle: int) -> None:
         pipeline = self.params.latencies.l2_pipeline
-        for client, link in enumerate(self.links):
-            for message in link.a.drain_ready(cycle):
-                self._ingress.append((cycle + pipeline, "acquire", message))
-                self.engine.note_progress()
-            for message in link.c.drain_ready(cycle):
-                # SinkC: split probe responses from (Root)Releases
-                if isinstance(message, ProbeAck) and message.is_root_release:
-                    # §5.5: dirty payload data is written to the
-                    # BankedStore *on arrival*, even when the request then
-                    # waits in the ListBuffer — a concurrent Acquire must
-                    # never be granted the stale pre-writeback data.
-                    self._sink_root_release_data(message)
-                    self._ingress.append((cycle + pipeline, "root", message))
-                elif isinstance(message, ProbeAck):
-                    self._probe_ack(message)
-                elif isinstance(message, Release):
-                    self._ingress.append((cycle + pipeline, "release", message))
-                else:  # pragma: no cover - defensive
-                    raise TypeError(f"unexpected C message {message}")
-                self.engine.note_progress()
-            for message in link.e.drain_ready(cycle):
-                self._grant_ack(message)
-                self.engine.note_progress()
+        for link in self.links:
+            if link.a.pending:
+                for message in link.a.drain_ready(cycle):
+                    self._ingress.append((cycle + pipeline, "acquire", message))
+                    self.engine.note_progress()
+            if link.c.pending:
+                for message in link.c.drain_ready(cycle):
+                    # SinkC: split probe responses from (Root)Releases
+                    if isinstance(message, ProbeAck) and message.is_root_release:
+                        # §5.5: dirty payload data is written to the
+                        # BankedStore *on arrival*, even when the request
+                        # then waits in the ListBuffer — a concurrent
+                        # Acquire must never be granted the stale
+                        # pre-writeback data.
+                        self._sink_root_release_data(message)
+                        self._ingress.append((cycle + pipeline, "root", message))
+                    elif isinstance(message, ProbeAck):
+                        self._probe_ack(message)
+                    elif isinstance(message, Release):
+                        self._ingress.append((cycle + pipeline, "release", message))
+                    else:  # pragma: no cover - defensive
+                        raise TypeError(f"unexpected C message {message}")
+                    self.engine.note_progress()
+            if link.e.pending:
+                for message in link.e.drain_ready(cycle):
+                    self._grant_ack(message)
+                    self.engine.note_progress()
 
     def _drain_dram(self, cycle: int) -> None:
         for message in self.dram.chan_d.drain_ready(cycle):
             if isinstance(message, GrantData):
                 mshr = self._find_mshr(message.address, _MshrState.FETCH)
-                self.lines[message.address] = L2Line(data=message.data, dirty=False)
+                self._install_line(
+                    message.address, L2Line(data=message.data, dirty=False)
+                )
                 mshr.state = _MshrState.START  # re-dispatch, line now present
             elif isinstance(message, ReleaseAck):
                 mshr = self._mshr_victim(message.address)
                 if mshr is not None and mshr.state is _MshrState.EVICT_WB:
+                    del self._victim_by_addr[message.address]
                     mshr.victim_address = None
                     mshr.state = _MshrState.START
                 else:
@@ -280,16 +308,13 @@ class InclusiveL2Cache:
             self.engine.note_progress()
 
     def _find_mshr(self, address: int, state: "_MshrState") -> "_L2Mshr":
-        for mshr in self.mshrs:
-            if mshr is not None and mshr.address == address and mshr.state is state:
-                return mshr
-        raise RuntimeError(f"no MSHR in {state} for {address:#x}")
+        mshr = self._mshr_by_addr.get(address)
+        if mshr is None or mshr.state is not state:
+            raise RuntimeError(f"no MSHR in {state} for {address:#x}")
+        return mshr
 
     def _mshr_victim(self, address: int) -> Optional[_L2Mshr]:
-        for mshr in self.mshrs:
-            if mshr is not None and mshr.victim_address == address:
-                return mshr
-        return None
+        return self._victim_by_addr.get(address)
 
     def _admit_ingress(self, cycle: int) -> None:
         deferred: Deque[Tuple[int, str, object]] = deque()
@@ -323,8 +348,14 @@ class InclusiveL2Cache:
     def _try_allocate(self, kind: str, message, cycle: int) -> bool:
         if self._mshr_on(message.address) is not None:
             return False
-        slot = next((i for i, m in enumerate(self.mshrs) if m is None), None)
-        if slot is None:
+        # lowest free slot: first gap in the sorted active-slot list
+        # (identical to scanning self.mshrs for the first None)
+        slot = self._n_active
+        for i, busy in enumerate(self._active_slots):
+            if busy != i:
+                slot = i
+                break
+        if slot >= len(self.mshrs):
             return False
         if kind == "acquire":
             mshr = _L2Mshr(
@@ -343,7 +374,11 @@ class InclusiveL2Cache:
             )
             self._apply_root_release_arrival(message)
             self.stats.inc(f"root_release_{message.param.value.lower()}")
+        mshr.slot = slot
         self.mshrs[slot] = mshr
+        insort(self._active_slots, slot)
+        self._mshr_by_addr[message.address] = mshr
+        self._n_active += 1
         self.engine.note_progress()
         return True
 
@@ -358,7 +393,9 @@ class InclusiveL2Cache:
             # then-owner's dirty data) was in flight.  The payload is the
             # newest value of the line and must not be lost: reinstall it
             # so the eventual writeback reaches DRAM.
-            self.lines[message.address] = L2Line(data=message.data, dirty=True)
+            self._install_line(
+                message.address, L2Line(data=message.data, dirty=True)
+            )
             self.stats.inc("root_release_reinstalls")
         else:
             line.data = message.data
@@ -431,18 +468,27 @@ class InclusiveL2Cache:
 
     # ------------------------------------------------------------ MSHR FSM
     def _step_mshrs(self, cycle: int) -> None:
-        for mshr in list(self.mshrs):
-            if mshr is None:
+        start = _MshrState.START
+        evict_probe = _MshrState.EVICT_PROBE
+        probe = _MshrState.PROBE
+        done = _MshrState.DONE
+        mshrs = self.mshrs
+        # Snapshot the active slots: handlers may _free (which edits the
+        # list); the copy is tiny — only busy slots appear in it.
+        for slot in tuple(self._active_slots):
+            mshr = mshrs[slot]
+            if mshr is None:  # pragma: no cover - freed earlier this walk
                 continue
-            if mshr.state is _MshrState.START:
+            state = mshr.state
+            if state is start:
                 self._dispatch(mshr, cycle)
-            elif mshr.state in (_MshrState.EVICT_PROBE, _MshrState.PROBE):
+            elif state is evict_probe or state is probe:
                 if not mshr.awaiting_acks:
-                    if mshr.state is _MshrState.EVICT_PROBE:
+                    if state is evict_probe:
                         self._finish_victim_probe(mshr, cycle)
                     else:
                         self._after_target_probe(mshr, cycle)
-            elif mshr.state is _MshrState.DONE:
+            elif state is done:
                 self._complete(mshr, cycle)
 
     def _dispatch(self, mshr: _L2Mshr, cycle: int) -> None:
@@ -466,9 +512,9 @@ class InclusiveL2Cache:
         # whose fetched line has not landed yet, or this set overflows.
         inflight = sum(
             1
-            for m in self.mshrs
-            if m is not None
-            and m.address != address
+            for s in self._active_slots
+            for m in (self.mshrs[s],)
+            if m.address != address
             and m.state is _MshrState.FETCH
             and self.geometry.set_index(m.address) == set_idx
             and m.address not in self.lines
@@ -482,6 +528,7 @@ class InclusiveL2Cache:
             return  # every line in the set is mid-transaction; retry next cycle
         victim = candidates[0]
         mshr.victim_address = victim
+        self._victim_by_addr[victim] = mshr
         line = self.lines[victim]
         if line.directory.sharers:
             mshr.awaiting_acks = set(line.directory.sharers)
@@ -506,11 +553,12 @@ class InclusiveL2Cache:
             self.dram.chan_c.send(
                 Release(source=self.AGENT_ID, address=victim, data=line.data), cycle
             )
-            del self.lines[victim]
+            self._remove_line(victim)
             mshr.state = _MshrState.EVICT_WB
             self.stats.inc("victim_writebacks")
         else:
-            del self.lines[victim]
+            self._remove_line(victim)
+            del self._victim_by_addr[victim]
             mshr.victim_address = None
             mshr.state = _MshrState.START
             self.stats.inc("victim_drops")
@@ -644,7 +692,7 @@ class InclusiveL2Cache:
             line = self._line(mshr.address)
             if not mshr.clean and line is not None and line.directory.idle:
                 # CBO.FLUSH/CBO.INVAL invalidate the whole hierarchy (§2.6)
-                del self.lines[mshr.address]
+                self._remove_line(mshr.address)
                 self.stats.inc("flush_l2_invalidations")
             self.links[mshr.client].d.send(
                 root_release_ack(self.AGENT_ID, mshr.address), cycle
@@ -653,16 +701,18 @@ class InclusiveL2Cache:
         self._free(mshr)
 
     def _free(self, mshr: _L2Mshr) -> None:
-        idx = self.mshrs.index(mshr)
-        self.mshrs[idx] = None
+        self.mshrs[mshr.slot] = None
+        self._active_slots.remove(mshr.slot)
+        del self._mshr_by_addr[mshr.address]
+        if mshr.victim_address is not None:  # defensive; cleared on WB ack
+            self._victim_by_addr.pop(mshr.victim_address, None)
+        self._n_active -= 1
         self.engine.note_progress()
 
     # ------------------------------------------------------------- queries
     @property
     def quiescent(self) -> bool:
-        return all(m is None for m in self.mshrs) and not self.list_buffer and not (
-            self._ingress
-        )
+        return not (self._n_active or self.list_buffer or self._ingress)
 
     def line_dirty(self, address: int) -> Optional[bool]:
         line = self._line(address)

@@ -14,7 +14,8 @@ cannot ride a load's MSHR.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Optional
 
 from repro.tilelink.permissions import Grow, Perm
 from repro.uarch.requests import MemOp, MemRequest
@@ -40,7 +41,7 @@ class Mshr:
         self.victim_way = -1
         self.needs_evict = False
         self.grow: Optional[Grow] = None
-        self.rpq: List[MemRequest] = []
+        self.rpq: Deque[MemRequest] = deque()
 
     @property
     def busy(self) -> bool:
@@ -82,7 +83,7 @@ class Mshr:
         self.victim_way = victim_way
         self.needs_evict = needs_evict
         self.grow = grow
-        self.rpq = [request]
+        self.rpq = deque((request,))
         self.state = MshrState.EVICT_WAIT if needs_evict else MshrState.ACQUIRE
 
     def push_secondary(self, request: MemRequest) -> None:
@@ -103,7 +104,7 @@ class Mshr:
 
     def pop_replay(self) -> Optional[MemRequest]:
         if self.rpq:
-            return self.rpq.pop(0)
+            return self.rpq.popleft()
         return None
 
     def free(self) -> None:
@@ -113,4 +114,4 @@ class Mshr:
         self.victim_way = -1
         self.needs_evict = False
         self.grow = None
-        self.rpq = []
+        self.rpq = deque()

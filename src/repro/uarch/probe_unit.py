@@ -27,7 +27,8 @@ class ProbeUnit:
 
     def __init__(self, l1) -> None:
         self.l1 = l1
-        self._current: Optional[Probe] = None
+        #: the in-flight probe, public so the L1 tick can gate on it
+        self.current: Optional[Probe] = None
         self._arrival_cycle = -1
         self.probes_handled = 0
         self.probes_stalled_cycles = 0
@@ -38,14 +39,14 @@ class ProbeUnit:
     @property
     def probe_rdy(self) -> bool:
         """High when no probe is in flight; gates flush-queue dequeue."""
-        return self._current is None
+        return self.current is None
 
     def tick(self, cycle: int) -> None:
-        if self._current is None:
+        if self.current is None:
             probe = self.l1.pop_channel_b(cycle)
             if probe is None:
                 return
-            self._current = probe
+            self.current = probe
             self._arrival_cycle = cycle
             if self.obs is not None:
                 self._obs_key = f"probe:l1{self.l1.agent_id}:{self._obs_seq}"
@@ -72,14 +73,14 @@ class ProbeUnit:
         if not self.l1.flush_unit.flush_rdy or not self.l1.wbu.wb_rdy:
             self.probes_stalled_cycles += 1
             return
-        if self.l1.mshr_blocks_probe(self._current.address):
+        if self.l1.mshr_blocks_probe(self.current.address):
             self.probes_stalled_cycles += 1
             return
-        self._handle(self._current, cycle)
+        self._handle(self.current, cycle)
         if self.obs is not None and self._obs_key is not None:
             self.obs.close_span(cycle, self._obs_key)
             self._obs_key = None
-        self._current = None
+        self.current = None
 
     def _handle(self, probe: Probe, cycle: int) -> None:
         address, cap = probe.address, probe.cap

@@ -29,15 +29,17 @@ class MemOp(enum.Enum):
     CBO_ZERO = "cbo.zero"  # CMO extension: zero a whole line
     FENCE = "fence"
 
-    @property
-    def is_cbo(self) -> bool:
-        """Ops routed to the flush unit (cbo.zero is a store-like op)."""
-        return self in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.CBO_INVAL)
 
-    @property
-    def is_stq(self) -> bool:
-        """STQ-resident ops: stores, CBO.X and fences (§3.2, §5.1)."""
-        return self is not MemOp.LOAD
+# Precomputed member attributes instead of properties: these predicates
+# run hundreds of thousands of times per bench point in the LSU hot loops,
+# and a plain attribute load is several times cheaper than a descriptor
+# call.
+for _op in MemOp:
+    #: ops routed to the flush unit (cbo.zero is a store-like op)
+    _op.is_cbo = _op in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.CBO_INVAL)
+    #: STQ-resident ops: stores, CBO.X and fences (§3.2, §5.1)
+    _op.is_stq = _op is not MemOp.LOAD
+del _op
 
 
 @dataclass

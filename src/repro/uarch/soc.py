@@ -147,9 +147,15 @@ class Soc:
         for core, program in zip(self.cores, programs):
             core.run_program(program)
         start = self.engine.cycle
-        self.engine.run_until(
-            lambda: all(core.done for core in self.cores), max_cycles=max_cycles
-        )
+        cores = self.cores
+        if len(cores) == 1:
+            # single-core fast path: the predicate runs every stepped
+            # cycle, so skip the genexpr and the `done` property call
+            only = cores[0]
+            predicate = lambda: only.head >= len(only.slots)  # noqa: E731
+        else:
+            predicate = lambda: all(c.done for c in cores)  # noqa: E731
+        self.engine.run_until(predicate, max_cycles=max_cycles)
         return self.engine.cycle - start
 
     def drain(self, max_cycles: int = 200_000) -> None:

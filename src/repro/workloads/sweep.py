@@ -9,6 +9,7 @@ once at the end".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -31,6 +32,11 @@ class WritebackSweepResult:
     threads: int
     op: str
     samples: List[int] = field(default_factory=list)
+    #: wall seconds spent inside run_programs/drain only (no SoC
+    #: construction, no program building) and the total cycles the engine
+    #: stepped — warmup and dirtying included — for raw-speed accounting
+    engine_seconds: float = 0.0
+    engine_cycles: int = 0
 
     @property
     def median(self) -> float:
@@ -84,19 +90,20 @@ def writeback_sweep(
     )
     # one discarded warmup repetition removes first-touch effects
     for rep in range(repeats + 1):
-        soc.run_programs(
-            [_dirty_program(t, per_thread, line) for t in range(threads)]
-        )
+        dirty = [_dirty_program(t, per_thread, line) for t in range(threads)]
+        wb = [
+            _writeback_program(t, per_thread, line, clean)
+            for t in range(threads)
+        ]
+        begin = time.perf_counter()
+        soc.run_programs(dirty)
         soc.drain()
-        cycles = soc.run_programs(
-            [
-                _writeback_program(t, per_thread, line, clean)
-                for t in range(threads)
-            ]
-        )
+        cycles = soc.run_programs(wb)
         soc.drain()
+        result.engine_seconds += time.perf_counter() - begin
         if rep > 0:
             result.samples.append(cycles)
+    result.engine_cycles = soc.engine.cycle
     return result
 
 

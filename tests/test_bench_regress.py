@@ -149,7 +149,8 @@ class TestAgainstCommittedBaseline:
             "baselines/quick.json", figures=[18], jobs=1
         )
         assert report.passed, report.format()
-        assert report.rows_compared == 15
+        # 15 figure rows + the baseline's sim-speed selftest sample
+        assert report.rows_compared == 16
         assert report.figures == [18]
 
     def test_requesting_figure_not_in_baseline(self):
@@ -158,3 +159,63 @@ class TestAgainstCommittedBaseline:
         )
         assert not report.passed
         assert any("none of which" in p for p in report.problems)
+
+
+class TestSelftestComparison:
+    """The sim-speed selftest rides in the baseline as a tracked field."""
+
+    @staticmethod
+    def _st(rate):
+        return {
+            "size_bytes": 16384,
+            "threads": 1,
+            "repeats": 3,
+            "median_cycles": 3006.0,
+            "engine_cycles": 35640,
+            "engine_seconds": 0.5,
+            "engine_cycles_per_sec": rate,
+            "wall_seconds": 0.6,
+            "cycles_per_sec": rate / 4,
+        }
+
+    def _docs(self, base_rate, cur_rate):
+        rows = _one_point()
+        base = _doc(rows)
+        cur = copy.deepcopy(base)
+        base["selftest"] = self._st(base_rate)
+        cur["selftest"] = self._st(cur_rate)
+        return cur, base
+
+    def test_within_generous_band_is_green(self):
+        # -30% is inside SELFTEST_REL_TOL: host noise, not a regression
+        cur, base = self._docs(60_000.0, 42_000.0)
+        report = regress.compare(cur, base)
+        assert report.passed
+        assert report.rows_compared == 2  # figure row + selftest
+
+    def test_large_slowdown_turns_red(self):
+        cur, base = self._docs(60_000.0, 6_000.0)
+        report = regress.compare(cur, base)
+        assert not report.passed
+        (delta,) = report.of_kind("regression")
+        assert delta.row == "selftest"
+        assert delta.field == "engine_cycles_per_sec"
+
+    def test_speedup_is_an_improvement_and_green(self):
+        cur, base = self._docs(6_000.0, 60_000.0)
+        report = regress.compare(cur, base)
+        assert report.passed
+        assert report.of_kind("improvement")
+
+    def test_missing_current_selftest_is_structural(self):
+        cur, base = self._docs(60_000.0, 60_000.0)
+        del cur["selftest"]
+        report = regress.compare(cur, base)
+        assert not report.passed
+        assert any("selftest" in p for p in report.problems)
+
+    def test_baseline_without_selftest_ignores_current(self):
+        cur, base = self._docs(60_000.0, 6_000.0)
+        del base["selftest"]
+        report = regress.compare(cur, base)
+        assert report.passed

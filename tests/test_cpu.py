@@ -111,3 +111,73 @@ class TestExecution:
         soc.drain()
         soc.run_programs([[Instr.load(0x40)]])
         assert soc.cores[0].load_result(0) == 1
+
+
+class TestLoadBypassOrdering:
+    """Pin the fire-ordering specification (§3.1-§3.2) via ``_eligible``.
+
+    ``tick`` enforces these rules with carried-forward state;
+    ``_eligible`` is the retained per-slot reference form.  These tests
+    also cover the fixed guard: the same-line check must consult the
+    *older op's* address, and only STQ-resident ops (stores, CBO.X,
+    fences) may block a younger load.
+    """
+
+    @staticmethod
+    def _core_with(program):
+        soc = Soc()
+        core = soc.cores[0]
+        core.run_program(program)
+        return core
+
+    def test_older_same_line_store_blocks_load(self):
+        core = self._core_with([Instr.store(0x100, 1), Instr.load(0x108)])
+        assert not core._eligible(1, core.slots[1])
+
+    def test_older_fence_blocks_load(self):
+        core = self._core_with([Instr.fence(), Instr.load(0x2000)])
+        assert not core._eligible(1, core.slots[1])
+
+    def test_older_other_line_store_does_not_block_load(self):
+        core = self._core_with([Instr.store(0x100, 1), Instr.load(0x9000)])
+        assert core._eligible(1, core.slots[1])
+
+    def test_older_same_line_cbo_blocks_load(self):
+        core = self._core_with([Instr.flush(0x140), Instr.load(0x148)])
+        assert not core._eligible(1, core.slots[1])
+
+    def test_done_older_store_unblocks_load(self):
+        from repro.uarch.cpu import _Status
+
+        core = self._core_with([Instr.store(0x100, 1), Instr.load(0x108)])
+        core.slots[0].status = _Status.DONE
+        assert core._eligible(1, core.slots[1])
+
+    def test_older_load_never_blocks_load(self):
+        core = self._core_with([Instr.load(0x300), Instr.load(0x308)])
+        assert core._eligible(1, core.slots[1])
+
+    def test_stq_requires_all_older_done(self):
+        from repro.uarch.cpu import _Status
+
+        core = self._core_with([Instr.load(0x400), Instr.store(0x9000, 1)])
+        assert not core._eligible(1, core.slots[1])
+        core.slots[0].status = _Status.DONE
+        assert core._eligible(1, core.slots[1])
+
+    def test_bypass_result_matches_in_order_value(self):
+        """End to end: the bypassing load still returns the right data."""
+        soc = Soc()
+        soc.run_programs([[Instr.store(0x500, 7)]])
+        soc.drain()
+        # same-line load after a store must observe the new value even
+        # though an unrelated miss is in flight ahead of it
+        program = [
+            Instr.store(0xA000, 1),  # miss, long latency
+            Instr.store(0x500, 9),  # hit line
+            Instr.load(0x508),  # same line as older store: must wait
+            Instr.load(0x500),
+        ]
+        soc.run_programs([program])
+        core = soc.cores[0]
+        assert core.load_result(3) == 9
