@@ -14,6 +14,7 @@ from repro.bench.micro import (
     run_fig12,
     run_fig13,
 )
+from repro.bench.serve import run_fig19
 from repro.bench.shared import run_fig18
 from repro.bench.store import run_fig17
 from repro.bench.structures import run_fig14, run_fig15, run_fig16
@@ -29,6 +30,7 @@ FIGURES = {
     16: run_fig16,
     17: run_fig17,
     18: run_fig18,
+    19: run_fig19,
 }
 
 #: figures by declared row type — the CLI/report dispatch on these sets
@@ -37,9 +39,11 @@ MICRO_FIGURES = frozenset({9, 10, 11, 12, 13})
 THROUGHPUT_FIGURES = frozenset({14, 15, 16})
 STORE_FIGURES = frozenset({17})
 SHARED_STORE_FIGURES = frozenset({18})
+SERVE_FIGURES = frozenset({19})
 
 __all__ = [
     "MICRO_FIGURES",
+    "SERVE_FIGURES",
     "SHARED_STORE_FIGURES",
     "STORE_FIGURES",
     "THROUGHPUT_FIGURES",
@@ -53,5 +57,6 @@ __all__ = [
     "run_fig16",
     "run_fig17",
     "run_fig18",
+    "run_fig19",
     "FIGURES",
 ]

@@ -47,6 +47,22 @@ SHARED_STORE_VALUE_FIELDS = (
     "wal_records",
     "commits",
 )
+SERVE_VALUE_FIELDS = (
+    "generated",
+    "served",
+    "completed",
+    "shed",
+    "throughput_mops",
+    "ack_p50",
+    "ack_p99",
+    "queue_p50",
+    "queue_p99",
+    "snapshot_reads",
+    "snapshot_fallbacks",
+    "fences",
+    "commits",
+    "wal_records",
+)
 #: default relative tolerance band for --check
 DEFAULT_REL_TOL = 0.02
 
@@ -55,6 +71,12 @@ def _row_key(row: Mapping[str, object]) -> str:
     """Stable identity of a row within its figure (kind-aware)."""
     if "series" in row:  # MicroRow
         return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
+    if "offered_load" in row:  # ServeRow (checked before SharedStoreRow:
+        # both carry ack_p50)
+        return (
+            f"serve|{row['optimizer']}|load={row['offered_load']:g}"
+            f"|s={row['sessions']}|gc={row['group_commit']}"
+        )
     if "ack_p50" in row:  # SharedStoreRow (checked before StoreRow: both
         # carry group_commit)
         return (
@@ -184,6 +206,8 @@ def check(
             cur, base = cur_rows[key], base_rows[key]
             if "series" in cur:
                 fields = MICRO_VALUE_FIELDS
+            elif "offered_load" in cur:
+                fields = SERVE_VALUE_FIELDS
             elif "ack_p50" in cur:
                 fields = SHARED_STORE_VALUE_FIELDS
             elif "group_commit" in cur:

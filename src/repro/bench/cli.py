@@ -18,12 +18,14 @@ from typing import List, Optional
 from repro.bench import (
     FIGURES,
     MICRO_FIGURES,
+    SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
     baseline,
 )
 from repro.bench.format import format_table, human_size
 from repro.bench.micro import MicroRow
+from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
@@ -150,6 +152,49 @@ def _print_shared(rows: List[SharedStoreRow]) -> None:
         )
 
 
+def _print_serve(rows: List[ServeRow]) -> None:
+    print(
+        format_table(
+            [
+                "optimizer",
+                "load",
+                "gen",
+                "done",
+                "shed",
+                "goodput",
+                "ack p50",
+                "ack p99",
+                "queue p99",
+                "bp",
+                "snap",
+            ],
+            [
+                (
+                    r.optimizer,
+                    r.offered_load,
+                    r.generated,
+                    r.completed,
+                    r.shed,
+                    round(r.throughput_mops, 3),
+                    r.ack_p50,
+                    r.ack_p99,
+                    r.queue_p99,
+                    r.backpressure_engagements,
+                    r.snapshot_reads,
+                )
+                for r in rows
+            ],
+        )
+    )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        print(
+            f"WARNING: {clamped} ack latencies were clamped to zero "
+            "(cross-thread virtual-clock skew); the p50/p99 columns "
+            "understate arrival->durable latency for those requests"
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skipit-bench",
@@ -240,6 +285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_store(run.rows)
         elif fig in SHARED_STORE_FIGURES:
             _print_shared(run.rows)
+        elif fig in SERVE_FIGURES:
+            _print_serve(run.rows)
         else:
             _print_throughput(run.rows)
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")

@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.bench import baseline as baseline_mod
 from repro.bench.baseline import (
     MICRO_VALUE_FIELDS,
+    SERVE_VALUE_FIELDS,
     SHARED_STORE_VALUE_FIELDS,
     STORE_VALUE_FIELDS,
     THROUGHPUT_VALUE_FIELDS,
@@ -57,6 +58,14 @@ FIELD_DIRECTION: Dict[str, str] = {
     "fences_per_kop": "lower",
     "ack_p50": "lower",
     "ack_p99": "lower",
+    "queue_p50": "lower",
+    "queue_p99": "lower",
+    "completed": "higher",
+    "shed": "lower",
+    "generated": "neutral",
+    "served": "neutral",
+    "snapshot_reads": "neutral",
+    "snapshot_fallbacks": "lower",
     "flush_requests": "lower",
     "cbo_issued": "lower",
     "cbo_skipped": "neutral",
@@ -135,6 +144,9 @@ class RegressReport:
 def _fields_for(row: Mapping[str, object]) -> Sequence[str]:
     if "series" in row:
         return MICRO_VALUE_FIELDS
+    if "offered_load" in row:  # ServeRow (before SharedStoreRow: both
+        # carry ack_p50)
+        return SERVE_VALUE_FIELDS
     if "ack_p50" in row:
         return SHARED_STORE_VALUE_FIELDS
     if "group_commit" in row:

@@ -13,11 +13,13 @@ from typing import Iterable, List, Optional, Sequence
 from repro.bench import (
     FIGURES,
     MICRO_FIGURES,
+    SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
 )
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
+from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
@@ -34,6 +36,8 @@ _FIGURE_TITLES = {
     17: "durable store: throughput vs group-commit x optimizer (repro.store)",
     18: "shared-log store: fences/op and ack latency vs threads "
     "(repro.store.shared)",
+    19: "serving tier: p99 ack latency vs offered load saturation curves "
+    "(repro.serve)",
 }
 
 
@@ -141,6 +145,50 @@ def _render_shared(rows: List[SharedStoreRow]) -> str:
     return table
 
 
+def _render_serve(rows: List[ServeRow]) -> str:
+    table = _markdown_table(
+        [
+            "optimizer",
+            "load",
+            "generated",
+            "completed",
+            "shed",
+            "goodput Mops/s",
+            "ack p50",
+            "ack p99",
+            "queue p99",
+            "backpressure",
+            "snapshot reads",
+        ],
+        [
+            (
+                r.optimizer,
+                r.offered_load,
+                r.generated,
+                r.completed,
+                r.shed,
+                r.throughput_mops,
+                r.ack_p50,
+                r.ack_p99,
+                r.queue_p99,
+                r.backpressure_engagements,
+                r.snapshot_reads,
+            )
+            for r in rows
+        ],
+    )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        table += (
+            f"\n\n**Warning:** {clamped} ack latencies were clamped to "
+            "zero (`serve_ack_latency_clamped`): cross-thread "
+            "virtual-clock skew made the raw arrival→durable delta "
+            "negative, so the p50/p99 columns understate those "
+            "requests' latency."
+        )
+    return table
+
+
 def _render_throughput(rows: List[ThroughputRow]) -> str:
     return _markdown_table(
         ["structure", "policy", "optimizer", "upd%", "Mops/s", "cbo issued", "cbo skipped"],
@@ -234,6 +282,11 @@ def build_report(
                 sections.append(summary)
         elif fig in SHARED_STORE_FIGURES:
             sections.append(_render_shared(rows))
+            summary = _render_metrics_summary(rows)
+            if summary:
+                sections.append(summary)
+        elif fig in SERVE_FIGURES:
+            sections.append(_render_serve(rows))
             summary = _render_metrics_summary(rows)
             if summary:
                 sections.append(summary)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.micro import sweep_axes as micro_axes
+from repro.bench.serve import sweep_axes as serve_axes
 from repro.bench.shared import sweep_axes as shared_store_axes
 from repro.bench.store import sweep_axes as store_axes
 from repro.bench.structures import sweep_axes as throughput_axes
@@ -198,6 +199,16 @@ def decompose(figure: int, quick: bool = False) -> List[BenchPoint]:
                     seeded=True,
                     optimizers=(optimizer,),
                     threads=(t,),
+                )
+    elif figure == 19:
+        axes = serve_axes(19, quick)
+        for optimizer in axes["optimizers"]:
+            for load in axes["offered_loads"]:
+                add(
+                    f"{optimizer},load={load:g}",
+                    seeded=True,
+                    optimizers=(optimizer,),
+                    offered_loads=(load,),
                 )
     else:
         raise KeyError(f"unknown figure {figure}")

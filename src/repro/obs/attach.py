@@ -261,6 +261,53 @@ def shared_store_registry(store) -> MetricsRegistry:
     return registry
 
 
+def serve_registry(tier) -> MetricsRegistry:
+    """Metrics tree for a :class:`~repro.serve.tier.ServeTier`.
+
+    ``serve.*`` counters (admitted / rejected / delayed / completed,
+    snapshot reads and fallbacks, backpressure transitions), the
+    **queue-wait** and **arrival→durable ack-latency** histograms that
+    figure 19 reports, admission-state gauges and per-session LSN
+    floors — the saturation story of one run in a single snapshot.
+    """
+    registry = MetricsRegistry()
+    registry.register_counter("serve", tier.stats)
+    registry.register_histogram("serve.queue_wait", tier.queue_wait)
+    registry.register_histogram("serve.ack_latency", tier.ack_latency)
+    registry.register_gauge(
+        "serve.admission.engaged", lambda t=tier: int(t.admission.engaged)
+    )
+    registry.register_gauge(
+        "serve.admission.admitted", lambda t=tier: t.admission.admitted
+    )
+    registry.register_gauge(
+        "serve.admission.rejections", lambda t=tier: t.admission.rejections
+    )
+    registry.register_gauge(
+        "serve.admission.engagements", lambda t=tier: t.admission.engagements
+    )
+    registry.register_gauge(
+        "serve.admission.releases", lambda t=tier: t.admission.releases
+    )
+    registry.register_gauge("serve.max_depth", lambda t=tier: t.max_depth)
+    registry.register_gauge("serve.inflight", lambda t=tier: t.inflight)
+    registry.register_gauge(
+        "serve.sessions", lambda t=tier: len(t.sessions)
+    )
+    for sid, session in sorted(tier.sessions.items()):
+        registry.register_gauge(
+            f"serve.session.s{sid}.lsn_floor", lambda s=session: s.lsn_floor
+        )
+        registry.register_gauge(
+            f"serve.session.s{sid}.writes", lambda s=session: s.writes
+        )
+        registry.register_gauge(
+            f"serve.session.s{sid}.snapshot_reads",
+            lambda s=session: s.snapshot_reads,
+        )
+    return registry
+
+
 def attach_timing(
     system: "TimingSystem", bus: Optional[EventBus] = None
 ) -> EventBus:

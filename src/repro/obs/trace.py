@@ -140,6 +140,11 @@ class StoreTracer:
         self.bucket_latency: Dict[str, Histogram] = {
             name: Histogram() for name in BLAME_BUCKETS
         }
+        #: serving-tier queueing delay (arrival → service start).  This is
+        #: *pre-submit* time, deliberately NOT a blame bucket: the blame
+        #: buckets telescope to the submit→durable latency exactly, while
+        #: queue wait happens before the op's ticket exists.
+        self.queue_wait = Histogram()
         self._op_seq = itertools.count(1)
         self._epoch_seq = itertools.count(1)
         self._submit_now: Dict[int, int] = {}  # trace_id -> submit clock
@@ -172,6 +177,7 @@ class StoreTracer:
     ) -> None:
         """Expose the latency + per-bucket histograms under *prefix*."""
         registry.register_histogram(f"{prefix}.latency", self.latency)
+        registry.register_histogram(f"{prefix}.queue_wait", self.queue_wait)
         for name in BLAME_BUCKETS:
             registry.register_histogram(
                 f"{prefix}.{name}", self.bucket_latency[name]
@@ -204,6 +210,18 @@ class StoreTracer:
         ticket.trace_id = trace_id
         self._submit_now[trace_id] = now
         self.bus.annotate(f"op:{trace_id}", lsn=ticket.lsn)
+
+    def request_queued(self, tid: int, wait: int, now: int) -> None:
+        """A serving-tier request waited *wait* cycles before service.
+
+        Emitted by :class:`repro.serve.tier.ServeTier` for every request
+        (zero wait included, so the histogram's mean is meaningful).
+        """
+        self.queue_wait.add(wait)
+        if wait:
+            self.bus.emit(
+                now, "serve", "queue_wait", track=f"t{tid}", wait=wait
+            )
 
     # ---------------------------------------------------------- seal hooks
     def seal_deferred(self, now: int) -> None:

@@ -347,6 +347,10 @@ class SharedLogStore:
         self.checkpointer = CheckpointManager(self)
         self.checkpoint_every = checkpoint_every
         self.memtable: Dict[int, int] = {}
+        #: key -> LSN of its last submitted mutation (session plumbing:
+        #: a memtable read of one key observes exactly this LSN, so a
+        #: serving session's floor rises no further than it must)
+        self.memtable_lsn: Dict[int, int] = {}
         self.acked_lsn = 0
         self.initiated_lsn = 0
         self.watermark = 0
@@ -365,6 +369,25 @@ class SharedLogStore:
     @property
     def leader_tid(self) -> int:
         return self.sealer.leader_tid
+
+    @property
+    def submitted_lsn(self) -> int:
+        """Last reserved LSN — the submitted tip (upper bound on any
+        session's floor; per-key observation uses :attr:`memtable_lsn`)."""
+        return self.wal.next_lsn - 1
+
+    @property
+    def unsealed_backlog(self) -> int:
+        """Records accumulated toward the current epoch (WAL tail depth)."""
+        return len(self.sealer.pending)
+
+    def flush_backlog(self, tid: int) -> int:
+        """Thread *tid*'s in-flight writebacks (its flush-queue depth).
+
+        ``unsealed_backlog + flush_backlog(tid)`` is the write backlog
+        the serving tier's admission controller gates on.
+        """
+        return len(self.views[tid].ctx.outstanding)
 
     def handle(self, tid: int) -> StoreHandle:
         return StoreHandle(self, tid)
@@ -399,6 +422,7 @@ class SharedLogStore:
             self.memtable[key] = value
         else:
             self.memtable.pop(key, None)
+        self.memtable_lsn[key] = lsn
         ticket = SharedCommitTicket(lsn, tid, view.ctx.now)
         if tracer is not None:
             tracer.op_submitted(trace_id, ticket, ticket.submit_now)
@@ -451,6 +475,9 @@ class SharedLogStore:
             raise RuntimeError("adopt() requires a fresh store instance")
         view = self.views[tid]
         self.memtable = dict(state.items)
+        # recovery loses per-key provenance; pin every adopted key at the
+        # applied tip (conservative: sessions over-wait, never under-wait)
+        self.memtable_lsn = {key: state.applied_lsn for key in state.items}
         self.acked_lsn = state.applied_lsn
         self.initiated_lsn = state.applied_lsn
         self.watermark = state.checkpoint_lsn
@@ -468,6 +495,9 @@ class SharedLogStore:
         """Zero measurement counters and all thread clocks (see
         :meth:`DurableStore.reset_measurement`); durable state stays."""
         self.stats.reset()
+        # store_commits restarts from zero, so the periodic-checkpoint
+        # baseline must too (no-op when checkpoint_every is disabled)
+        self._commits_at_checkpoint = 0
         self.batch_sizes = Histogram()
         self.ack_latency = [Histogram() for _ in self.views]
         self.ack_latency_all = Histogram()

@@ -177,6 +177,9 @@ class DurableStore:
         Durable state (log, memtable, LSNs) is untouched.
         """
         self.stats.reset()
+        # store_commits restarts from zero, so the periodic-checkpoint
+        # baseline must too (no-op when checkpoint_every is disabled)
+        self._commits_at_checkpoint = 0
         self.batch_sizes = Histogram()
         self.wal.records_appended = 0
         self.wal.bytes_appended = 0

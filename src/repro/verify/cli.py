@@ -1,6 +1,6 @@
 """``python -m repro.verify`` — the verification harness entry point.
 
-``--smoke`` (the default, also the CI gate) runs five stages:
+``--smoke`` (the default, also the CI gate) runs six stages:
 
 1. **Timing crash-point matrix** — {clean, flush} x dirty-in-{own L1,
    other L1, L2, victim L3} x Skip It on/off through
@@ -27,6 +27,12 @@
    interleaving appends into one shared WAL, epochs sealed by a leader
    whose single fence must cover every thread's records; crashes at
    every seal boundary and writeback-completion window.
+6. **Serve session sweep** — the serving tier's contracts over
+   :class:`~repro.verify.serve.ServeCrashSweep`: sessions driving a
+   :class:`~repro.serve.tier.ServeTier` (admission control engaged,
+   snapshot reads exercised), checking journal-prefix durability at
+   every crash point plus read-your-writes, per-session monotonic
+   reads, and that shed requests are never journaled or recovered.
 
 Exit status: 0 all green, 1 on any oracle violation or model divergence,
 2 when FSM coverage is below the floor (``--floor``, default 90% of
@@ -53,6 +59,7 @@ from repro.verify.injector import (
     SocCrashInjector,
     TimingCrashInjector,
 )
+from repro.verify.serve import run_serve_sweep
 from repro.verify.store import run_shared_store_sweep, run_store_sweep
 
 MATRIX_ADDR = 0x10000
@@ -313,6 +320,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out.append("== shared-log crash sweep ==")
     for name, report in run_shared_store_sweep():
+        mark = "ok" if report.ok else "FAIL"
+        out.append(
+            f"  {mark} {name:<28} {report.crash_points} crash points "
+            f"over {report.boundaries} boundaries"
+        )
+        failures += len(report.violations)
+        for violation in report.violations[:3]:
+            out.append(f"       {violation}")
+
+    out.append("== serve session sweep ==")
+    for name, report in run_serve_sweep():
         mark = "ok" if report.ok else "FAIL"
         out.append(
             f"  {mark} {name:<28} {report.crash_points} crash points "

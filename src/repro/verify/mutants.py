@@ -104,6 +104,24 @@ SHARED_STORE_MUTANTS: Dict[str, str] = {
 }
 
 
+#: serving-tier mutants: seeded bugs the stage-6 session sweep
+#: (:class:`repro.verify.serve.ServeCrashSweep`) must turn red on.
+#: Inject by passing ``mutants=(name,)`` to the sweep, flowing into
+#: :attr:`repro.serve.tier.ServeTier.mutants`.
+SERVE_MUTANTS: Dict[str, str] = {
+    "stale_snapshot_read": (
+        "snapshot reads ignore the session's LSN floor and answer from "
+        "the published checkpoint even when it predates the session's "
+        "own writes — read-your-writes and monotonic reads both break"
+    ),
+    "shed_acked_op": (
+        "admission control applies its decision only after the op has "
+        "been ticketed, so a request reported 'shed' to the client is "
+        "nonetheless journaled, sealed, and recovered"
+    ),
+}
+
+
 @contextmanager
 def soc_mutant(name: str) -> Iterator[None]:
     """Patch the cycle-level model with one known bug for the block.

@@ -116,6 +116,26 @@ class StoreOracle:
                     at=at,
                 )
             ]
+        return self.check_state(
+            state,
+            layout,
+            acked_lsn=acked_lsn,
+            initiated_lsn=initiated_lsn,
+            at=at,
+        )
+
+    def check_state(
+        self,
+        state,
+        layout,
+        *,
+        acked_lsn: int,
+        initiated_lsn: int,
+        at: object,
+    ) -> List[Violation]:
+        """The three contract checks against an already-recovered *state*
+        (split out so wrappers like the stage-6 session oracle can layer
+        further checks on the same recovery)."""
         violations: List[Violation] = []
         if state.applied_lsn < acked_lsn:
             violations.append(

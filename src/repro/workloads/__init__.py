@@ -7,6 +7,11 @@ from repro.workloads.datastructs import (
     DataStructureBenchmark,
     DataStructureResult,
 )
+from repro.workloads.openloop import (
+    OpenLoopClient,
+    PoissonArrivals,
+    ZipfianKeys,
+)
 
 __all__ = [
     "writeback_sweep",
@@ -15,4 +20,7 @@ __all__ = [
     "redundant_writeback_latency",
     "DataStructureBenchmark",
     "DataStructureResult",
+    "OpenLoopClient",
+    "PoissonArrivals",
+    "ZipfianKeys",
 ]

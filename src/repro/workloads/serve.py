@@ -1,0 +1,230 @@
+"""Serving-tier saturation driver (the figure-19 workload).
+
+Runs N open-loop tenants against one :class:`~repro.serve.tier.ServeTier`
+over a :class:`~repro.store.shared.SharedLogStore`: per-tenant zipfian
+keys over a large keyspace, Poisson arrivals at a configured **offered
+load** (total ops per kilocycle across tenants), admission control at
+the tier, snapshot reads from the latest checkpoint, and read-your-writes
+sessions.  The headline output is the **arrival→durable** latency
+distribution of completed writes — queueing delay included, which is
+what makes the saturation knee visible: past the store's capacity the
+client queues grow and p99 diverges, and a better flush optimizer moves
+the knee to a higher offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.attach import serve_registry, timing_registry
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.serve.tier import ServeTier
+from repro.store.shared import SharedLogStore
+from repro.timing.params import TimingParams
+from repro.timing.scheduler import VirtualTimeScheduler
+from repro.timing.system import TimingSystem
+from repro.workloads.openloop import (
+    OpenLoopClient,
+    PoissonArrivals,
+    ZipfianKeys,
+)
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one (optimizer, offered-load) serving cell."""
+
+    optimizer: str
+    offered_load: float  # total requests per kilocycle across tenants
+    sessions: int
+    group_commit: int
+    generated: int  # requests the arrival processes produced
+    served: int  # requests that reached the tier
+    completed: int  # writes acked durable (and harvested)
+    shed: int  # writes rejected by admission control
+    elapsed_cycles: int
+    throughput_mops: float  # completed writes (goodput), Mops/s
+    ack_p50: float  # arrival → durable, completed writes
+    ack_p99: float
+    queue_p50: float  # arrival → service start, all requests
+    queue_p99: float
+    max_depth: int  # deepest write backlog the tier observed
+    max_client_queue: int  # deepest per-tenant arrival queue
+    backpressure_engagements: int
+    snapshot_reads: int
+    snapshot_fallbacks: int
+    fences: int
+    commits: int
+    checkpoints: int
+    wal_records: int
+    ack_clamped: int
+    #: ``timing.*`` + ``serve.*`` + ``store.shared.*`` metrics snapshot
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+class ServeBenchmark:
+    """One configured serving-tier saturation experiment."""
+
+    def __init__(
+        self,
+        optimizer: str,
+        offered_load: float,
+        sessions: int = 4,
+        group_commit: int = 8,
+        key_space: int = 1_000_000,
+        prefill_keys: int = 128,
+        log_capacity: int = 512,
+        num_buckets: int = 64,
+        high_water: int = 48,
+        low_water: int = 12,
+        checkpoint_every: int = 4,
+        update_fraction: float = 0.6,
+        snapshot_fraction: float = 0.15,
+        analytics_sessions: int = 1,
+        theta: float = 0.99,
+        flit_table_entries: int = 1024,
+        skip_it: Optional[bool] = None,
+        seed: int = 12345,
+    ) -> None:
+        if offered_load <= 0:
+            raise ValueError("offered load must be positive")
+        self.optimizer_name = optimizer
+        self.offered_load = offered_load
+        self.sessions = sessions
+        self.group_commit = group_commit
+        self.key_space = key_space
+        self.prefill_keys = prefill_keys
+        self.log_capacity = log_capacity
+        self.num_buckets = num_buckets
+        self.high_water = high_water
+        self.low_water = low_water
+        self.checkpoint_every = checkpoint_every
+        self.update_fraction = update_fraction
+        self.snapshot_fraction = snapshot_fraction
+        if analytics_sessions >= sessions:
+            raise ValueError("at least one OLTP session is required")
+        self.analytics_sessions = analytics_sessions
+        self.theta = theta
+        self.flit_table_entries = flit_table_entries
+        self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.seed = seed
+
+    def run(self, duration: int = 200_000, tracer=None) -> ServeResult:
+        params = TimingParams(num_threads=self.sessions, skip_it=self.skip_it)
+        system = TimingSystem(params)
+        heap = SimHeap(line_bytes=params.line_bytes)
+        optimizer = make_optimizer(
+            self.optimizer_name, heap, self.flit_table_entries
+        )
+        policy = make_policy("none")
+        views = [
+            PMemView(ctx, policy, optimizer)
+            for ctx in system.threads[: self.sessions]
+        ]
+        store = SharedLogStore(
+            heap,
+            views,
+            log_capacity=self.log_capacity,
+            batch_size=self.group_commit,
+            checkpoint_every=self.checkpoint_every,
+            num_buckets=self.num_buckets,
+        )
+        tier = ServeTier(
+            store, high_water=self.high_water, low_water=self.low_water
+        )
+
+        # Prefill a slice of the keyspace and publish a checkpoint so
+        # snapshot reads have a snapshot to hit from cycle zero; prefill
+        # values live below every tenant's value space.
+        hot = ZipfianKeys(self.key_space, self.theta, seed=self.seed + 977)
+        prefilled = set()
+        while len(prefilled) < self.prefill_keys:
+            key = hot.next()
+            if key not in prefilled:
+                prefilled.add(key)
+                store.put(0, key, 1_000 + len(prefilled))
+        store.checkpoint(0)
+        system.persist_all()
+        optimizer.declare_persisted(system)
+        system.stats.reset()
+        store.reset_measurement()
+        if tracer is not None:
+            tracer.attach(store, system)
+
+        # offered_load is the *total* rate: split evenly across tenants
+        mean_interarrival = 1000.0 * self.sessions / self.offered_load
+        oltp = self.sessions - self.analytics_sessions
+        clients = []
+        for sid in range(self.sessions):
+            if sid < oltp:
+                update, snapshot = self.update_fraction, self.snapshot_fraction
+            else:
+                # read-mostly "analytics" tenant: lives on the published
+                # checkpoint, so its floor stays at the watermark and its
+                # reads never contend on the write path
+                update, snapshot = 0.05, 0.80
+            clients.append(
+                OpenLoopClient(
+                    tier,
+                    tier.session(sid, sid),
+                    ZipfianKeys(
+                        self.key_space, self.theta, seed=self.seed + sid
+                    ),
+                    PoissonArrivals(
+                        mean_interarrival, seed=self.seed + 31 * sid
+                    ),
+                    update_fraction=update,
+                    snapshot_fraction=snapshot,
+                    value_base=1_000_000 + sid * 10_000_000,
+                    seed=self.seed + 7 * sid,
+                )
+            )
+
+        scheduler = VirtualTimeScheduler(system)
+        result = scheduler.run(
+            [client.step for client in clients], duration=duration, warmup=0
+        )
+        tier.drain()
+
+        registry = timing_registry(system)
+        snapshot = registry.snapshot()
+        snapshot["serve"] = serve_registry(tier).snapshot()
+        from repro.obs.attach import shared_store_registry
+
+        snapshot["store.shared"] = shared_store_registry(store).snapshot()
+
+        completed = tier.stats.get("serve_completed")
+        elapsed = result.elapsed
+        return ServeResult(
+            optimizer=self.optimizer_name,
+            offered_load=self.offered_load,
+            sessions=self.sessions,
+            group_commit=self.group_commit,
+            generated=sum(c.generated for c in clients),
+            served=sum(c.served for c in clients),
+            completed=completed,
+            shed=tier.stats.get("serve_rejected"),
+            elapsed_cycles=elapsed,
+            throughput_mops=(
+                completed * 50e6 / elapsed / 1e6 if elapsed else 0.0
+            ),
+            ack_p50=tier.ack_latency.p50(),
+            ack_p99=tier.ack_latency.p99(),
+            queue_p50=tier.queue_wait.p50(),
+            queue_p99=tier.queue_wait.p99(),
+            max_depth=tier.max_depth,
+            max_client_queue=max(c.max_queue_depth for c in clients),
+            backpressure_engagements=tier.admission.engagements,
+            snapshot_reads=tier.stats.get("serve_snapshot_reads"),
+            snapshot_fallbacks=tier.stats.get("serve_snapshot_fallback"),
+            fences=store.stats.get("store_fences"),
+            commits=store.stats.get("store_commits"),
+            checkpoints=store.stats.get("store_checkpoints"),
+            wal_records=store.wal.records_appended,
+            ack_clamped=tier.stats.get("serve_ack_latency_clamped"),
+            metrics=snapshot,
+        )

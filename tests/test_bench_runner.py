@@ -7,6 +7,7 @@ import pytest
 from repro.bench import (
     FIGURES,
     MICRO_FIGURES,
+    SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
     THROUGHPUT_FIGURES,
@@ -194,11 +195,18 @@ class TestCliDispatch:
             | THROUGHPUT_FIGURES
             | STORE_FIGURES
             | SHARED_STORE_FIGURES
+            | SERVE_FIGURES
         ) == set(FIGURES)
         assert not MICRO_FIGURES & THROUGHPUT_FIGURES
         assert not STORE_FIGURES & (MICRO_FIGURES | THROUGHPUT_FIGURES)
         assert not SHARED_STORE_FIGURES & (
             MICRO_FIGURES | THROUGHPUT_FIGURES | STORE_FIGURES
+        )
+        assert not SERVE_FIGURES & (
+            MICRO_FIGURES
+            | THROUGHPUT_FIGURES
+            | STORE_FIGURES
+            | SHARED_STORE_FIGURES
         )
 
     def test_empty_micro_figure_prints_micro_header(self, monkeypatch, capsys):

@@ -1,6 +1,8 @@
 """Tests for :mod:`repro.store.shared` — the shared-log store."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.attach import shared_store_registry
 from repro.persist.api import PMemView
@@ -268,6 +270,68 @@ class TestResetMeasurement:
             assert view.flush_requests == 0
             assert view.ctx.now == 0 and not view.ctx.outstanding
         assert store.memtable == memtable
+
+
+class TestReserveProperties:
+    """Hypothesis: the CAS-reserved tail under randomized interleavings.
+
+    ``reserve()`` must hand out dense, globally ordered LSNs (submission
+    order IS LSN order) with no slot double-reservation, for any thread
+    interleaving — including under wrap pressure, where the circular log
+    recycles slots across checkpoints.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tids=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=60
+        )
+    )
+    def test_interleaved_reservations_are_dense_and_unique(self, tids):
+        system, heap, views, store = mk_shared(threads=3, batch_size=4)
+        wal = store.wal
+        lsns = [wal.reserve(views[tid]) for tid in tids]
+        # dense: no gaps, no duplicates, handed out in submission order
+        assert lsns == list(range(lsns[0], lsns[0] + len(lsns)))
+        # distinct LSNs within one capacity window -> distinct slots
+        slots = {store.layout.slot_of(lsn) for lsn in lsns}
+        assert len(slots) == len(lsns)
+        # every view agrees on the shared tail word
+        for view in views:
+            assert view.read(wal.tail_addr) == lsns[-1]
+        assert wal.next_lsn == lsns[-1] + 1
+        assert wal.tail_cas_failures == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(1, 7)),
+            min_size=24,
+            max_size=72,
+        )
+    )
+    def test_wrap_pressure_keeps_order_and_round_trips(self, ops):
+        system, heap, views, store = mk_shared(
+            threads=2, batch_size=4, log_capacity=32
+        )
+        expected = {}
+        lsns = []
+        for i, (tid, key) in enumerate(ops):
+            lsns.append(store.put(tid, key, 9000 + i).lsn)
+            expected[key] = 9000 + i
+        sealed_during = store.stats.get("store_commits")
+        store.sync()
+        # submission order IS LSN order; the only gaps are the seal
+        # markers (one reserved LSN per epoch commit)
+        gaps = [b - a for a, b in zip(lsns, lsns[1:])]
+        assert all(gap in (1, 2) for gap in gaps)
+        assert gaps.count(2) <= sealed_during
+        assert len(set(lsns)) == len(lsns)
+        assert store.memtable == expected
+        state = recovered(system, store)
+        assert state.items == expected
+        assert state.applied_lsn == store.acked_lsn
+        assert store.wal.tail_cas_failures == 0
 
 
 class TestAcceptance:

@@ -17,6 +17,7 @@ from repro.uarch.cpu import Instr
 from repro.uarch.soc import Soc
 from repro.verify.injector import SocCrashInjector, TimingCrashInjector
 from repro.verify.mutants import (
+    SERVE_MUTANTS,
     SHARED_STORE_MUTANTS,
     SOC_MUTANTS,
     STORE_MUTANTS,
@@ -25,6 +26,7 @@ from repro.verify.mutants import (
     timing_mutant,
 )
 from repro.verify.oracle import DurabilityOracle, WordHistory
+from repro.verify.serve import ServeCrashSweep
 from repro.verify.store import SharedStoreCrashSweep, StoreCrashSweep
 
 ADDR = 0x10000
@@ -217,6 +219,41 @@ class TestSharedStoreMutantsCaught:
         report = SharedStoreCrashSweep(
             optimizer, group_commit=4, threads=3, ops=60
         ).run()
+        assert report.ok, report.summary()
+
+
+#: violation kinds each serving-tier mutant must produce in the sweep
+SERVE_EXPECTED_KIND = {
+    "stale_snapshot_read": "session_ryw",
+    "shed_acked_op": "shed_acked",
+}
+
+
+class TestServeMutantsCaught:
+    """False-negative guarantee of the stage-6 session sweep.
+
+    ``group_commit=8`` with 2 sessions gives 16-record epochs, so the
+    write backlog crosses the sweep's low ``high_water`` and admission
+    control actually sheds — the precondition for ``shed_acked_op``
+    to have anything to lie about.  Each session's closing
+    put-then-snapshot-read pairs pin the ``stale_snapshot_read``
+    window regardless of the random mixed phase.
+    """
+
+    @pytest.mark.parametrize("mutant", sorted(SERVE_MUTANTS))
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_mutant_turns_sweep_red(self, mutant, optimizer):
+        report = ServeCrashSweep(
+            optimizer, group_commit=8, mutants=(mutant,)
+        ).run()
+        assert not report.ok, f"{mutant} not caught on {optimizer}"
+        kinds = {violation.kind for violation in report.violations}
+        assert SERVE_EXPECTED_KIND[mutant] in kinds, report.violations
+
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    @pytest.mark.parametrize("group_commit", [1, 8])
+    def test_unmutated_sweep_is_green(self, optimizer, group_commit):
+        report = ServeCrashSweep(optimizer, group_commit=group_commit).run()
         assert report.ok, report.summary()
 
 
