@@ -1,0 +1,74 @@
+"""Figure 20: multi-key transactions — fence amortization vs write-set size.
+
+Not a paper figure — the claims under test are the transaction
+subsystem's reasons to exist: a transaction is one ticket toward the
+epoch trigger whatever its write-set size, so fences per committed
+transaction stay flat while the records per fence grow; and the write
+set rides one contiguous run whose durability costs one ack wait, paid
+in latency that grows with the run.
+"""
+
+import pytest
+
+from repro.bench.txn import run_fig20
+
+
+@pytest.mark.figure(20)
+def test_fig20_txn_size_amortizes_the_fence(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig20(
+            quick=True,
+            optimizers=["plain"],
+            txn_sizes=[1, 4, 8],
+            duration=30_000,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_size = {r.txn_size: r for r in rows}
+    fpt = {n: r.fences_per_txn for n, r in by_size.items()}
+    assert_shape(
+        max(fpt.values()) < 2 * min(fpt.values()),
+        f"fences per txn stay roughly flat across write-set sizes: {fpt}",
+    )
+    recs = {n: r.wal_records / max(1, r.committed) for n, r in by_size.items()}
+    assert_shape(
+        recs[8] > recs[4] > recs[1],
+        f"records per committed txn grow with the write set: {recs}",
+    )
+    ack = {n: r.ack_p50 for n, r in by_size.items()}
+    assert_shape(
+        ack[8] > ack[1] > 0,
+        f"the bigger run is paid in ack latency: {ack}",
+    )
+    for r in rows:
+        assert_shape(
+            r.ack_p99 >= r.ack_p50,
+            f"txn={r.txn_size}: percentiles ordered",
+        )
+        assert_shape(
+            r.committed > 0 and r.aborted > 0,
+            f"txn={r.txn_size}: both outcomes sampled "
+            f"({r.committed} committed, {r.aborted} aborted)",
+        )
+
+
+@pytest.mark.figure(20)
+def test_fig20_skipit_beats_plain_on_throughput(benchmark, assert_shape):
+    rows = benchmark.pedantic(
+        lambda: run_fig20(
+            quick=True,
+            optimizers=["plain", "skipit"],
+            txn_sizes=[4],
+            duration=30_000,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    mtps = {r.optimizer: r.throughput_mtps for r in rows}
+    assert_shape(
+        mtps["skipit"] > mtps["plain"],
+        f"skip-it filters the run's redundant cleans: {mtps}",
+    )

@@ -18,6 +18,7 @@ from repro.bench.serve import run_fig19
 from repro.bench.shared import run_fig18
 from repro.bench.store import run_fig17
 from repro.bench.structures import run_fig14, run_fig15, run_fig16
+from repro.bench.txn import run_fig20
 
 FIGURES = {
     9: run_fig09,
@@ -31,6 +32,7 @@ FIGURES = {
     17: run_fig17,
     18: run_fig18,
     19: run_fig19,
+    20: run_fig20,
 }
 
 #: figures by declared row type — the CLI/report dispatch on these sets
@@ -40,6 +42,7 @@ THROUGHPUT_FIGURES = frozenset({14, 15, 16})
 STORE_FIGURES = frozenset({17})
 SHARED_STORE_FIGURES = frozenset({18})
 SERVE_FIGURES = frozenset({19})
+TXN_FIGURES = frozenset({20})
 
 __all__ = [
     "MICRO_FIGURES",
@@ -47,6 +50,7 @@ __all__ = [
     "SHARED_STORE_FIGURES",
     "STORE_FIGURES",
     "THROUGHPUT_FIGURES",
+    "TXN_FIGURES",
     "run_fig09",
     "run_fig10",
     "run_fig11",
@@ -58,5 +62,6 @@ __all__ = [
     "run_fig17",
     "run_fig18",
     "run_fig19",
+    "run_fig20",
     "FIGURES",
 ]

@@ -47,6 +47,21 @@ SHARED_STORE_VALUE_FIELDS = (
     "wal_records",
     "commits",
 )
+TXN_VALUE_FIELDS = (
+    "committed",
+    "aborted",
+    "throughput_mtps",
+    "fences",
+    "fences_per_txn",
+    "ack_p50",
+    "ack_p99",
+    "abort_p50",
+    "abort_p99",
+    "cbo_issued",
+    "cbo_skipped",
+    "wal_records",
+    "commits",
+)
 SERVE_VALUE_FIELDS = (
     "generated",
     "served",
@@ -71,6 +86,12 @@ def _row_key(row: Mapping[str, object]) -> str:
     """Stable identity of a row within its figure (kind-aware)."""
     if "series" in row:  # MicroRow
         return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
+    if "txn_size" in row:  # TxnRow (checked before ServeRow and
+        # SharedStoreRow: all three carry ack_p50)
+        return (
+            f"txn|{row['optimizer']}|n={row['txn_size']}"
+            f"|gc={row['group_commit']}|t={row['threads']}"
+        )
     if "offered_load" in row:  # ServeRow (checked before SharedStoreRow:
         # both carry ack_p50)
         return (
@@ -206,6 +227,8 @@ def check(
             cur, base = cur_rows[key], base_rows[key]
             if "series" in cur:
                 fields = MICRO_VALUE_FIELDS
+            elif "txn_size" in cur:
+                fields = TXN_VALUE_FIELDS
             elif "offered_load" in cur:
                 fields = SERVE_VALUE_FIELDS
             elif "ack_p50" in cur:

@@ -21,6 +21,7 @@ from repro.bench import (
     SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
+    TXN_FIGURES,
     baseline,
 )
 from repro.bench.format import format_table, human_size
@@ -29,6 +30,7 @@ from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
+from repro.bench.txn import TxnRow
 
 
 def _print_micro(rows: List[MicroRow]) -> None:
@@ -195,6 +197,49 @@ def _print_serve(rows: List[ServeRow]) -> None:
         )
 
 
+def _print_txn(rows: List[TxnRow]) -> None:
+    print(
+        format_table(
+            [
+                "optimizer",
+                "txn",
+                "gc",
+                "committed",
+                "aborted",
+                "Mtxn/s",
+                "fences/txn",
+                "ack p50",
+                "ack p99",
+                "abort p50",
+                "abort p99",
+            ],
+            [
+                (
+                    r.optimizer,
+                    r.txn_size,
+                    r.group_commit,
+                    r.committed,
+                    r.aborted,
+                    round(r.throughput_mtps, 3),
+                    round(r.fences_per_txn, 3),
+                    r.ack_p50,
+                    r.ack_p99,
+                    r.abort_p50,
+                    r.abort_p99,
+                )
+                for r in rows
+            ],
+        )
+    )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        print(
+            f"WARNING: {clamped} ack latencies were clamped to zero "
+            "(cross-thread virtual-clock skew); the p50/p99 columns "
+            "understate submit->durable latency for those transactions"
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skipit-bench",
@@ -287,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_shared(run.rows)
         elif fig in SERVE_FIGURES:
             _print_serve(run.rows)
+        elif fig in TXN_FIGURES:
+            _print_txn(run.rows)
         else:
             _print_throughput(run.rows)
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")

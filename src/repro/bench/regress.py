@@ -36,6 +36,7 @@ from repro.bench.baseline import (
     SHARED_STORE_VALUE_FIELDS,
     STORE_VALUE_FIELDS,
     THROUGHPUT_VALUE_FIELDS,
+    TXN_VALUE_FIELDS,
     _row_key,
 )
 
@@ -51,16 +52,22 @@ SELFTEST_REL_TOL = 0.5
 #: which way each compared field should move; unknown fields are neutral
 FIELD_DIRECTION: Dict[str, str] = {
     "throughput_mops": "higher",
+    "throughput_mtps": "higher",
     "engine_cycles_per_sec": "higher",
     "median_cycles": "lower",
     "stdev_cycles": "neutral",
     "fences": "lower",
     "fences_per_kop": "lower",
+    "fences_per_txn": "lower",
     "ack_p50": "lower",
     "ack_p99": "lower",
+    "abort_p50": "lower",
+    "abort_p99": "lower",
     "queue_p50": "lower",
     "queue_p99": "lower",
     "completed": "higher",
+    "committed": "higher",
+    "aborted": "neutral",
     "shed": "lower",
     "generated": "neutral",
     "served": "neutral",
@@ -144,6 +151,9 @@ class RegressReport:
 def _fields_for(row: Mapping[str, object]) -> Sequence[str]:
     if "series" in row:
         return MICRO_VALUE_FIELDS
+    if "txn_size" in row:  # TxnRow (before ServeRow/SharedStoreRow:
+        # all three carry ack_p50)
+        return TXN_VALUE_FIELDS
     if "offered_load" in row:  # ServeRow (before SharedStoreRow: both
         # carry ack_p50)
         return SERVE_VALUE_FIELDS

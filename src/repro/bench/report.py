@@ -16,6 +16,7 @@ from repro.bench import (
     SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
+    TXN_FIGURES,
 )
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
@@ -23,6 +24,7 @@ from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
 from repro.bench.structures import ThroughputRow
+from repro.bench.txn import TxnRow
 
 _FIGURE_TITLES = {
     9: "CBO.X latency vs writeback size and threads (§7.2)",
@@ -38,6 +40,8 @@ _FIGURE_TITLES = {
     "(repro.store.shared)",
     19: "serving tier: p99 ack latency vs offered load saturation curves "
     "(repro.serve)",
+    20: "transactions: fences per committed txn vs write-set size "
+    "(repro.store.txn)",
 }
 
 
@@ -189,6 +193,50 @@ def _render_serve(rows: List[ServeRow]) -> str:
     return table
 
 
+def _render_txn(rows: List[TxnRow]) -> str:
+    table = _markdown_table(
+        [
+            "optimizer",
+            "txn size",
+            "gc",
+            "committed",
+            "aborted",
+            "Mtxn/s",
+            "fences/txn",
+            "ack p50",
+            "ack p99",
+            "abort p50",
+            "abort p99",
+        ],
+        [
+            (
+                r.optimizer,
+                r.txn_size,
+                r.group_commit,
+                r.committed,
+                r.aborted,
+                r.throughput_mtps,
+                r.fences_per_txn,
+                r.ack_p50,
+                r.ack_p99,
+                r.abort_p50,
+                r.abort_p99,
+            )
+            for r in rows
+        ],
+    )
+    clamped = sum(r.ack_clamped for r in rows)
+    if clamped:
+        table += (
+            f"\n\n**Warning:** {clamped} ack latencies were clamped to "
+            "zero (`store_ack_latency_clamped`): cross-thread "
+            "virtual-clock skew made the raw submit→durable delta "
+            "negative, so the p50/p99 columns understate those "
+            "transactions' latency."
+        )
+    return table
+
+
 def _render_throughput(rows: List[ThroughputRow]) -> str:
     return _markdown_table(
         ["structure", "policy", "optimizer", "upd%", "Mops/s", "cbo issued", "cbo skipped"],
@@ -287,6 +335,11 @@ def build_report(
                 sections.append(summary)
         elif fig in SERVE_FIGURES:
             sections.append(_render_serve(rows))
+            summary = _render_metrics_summary(rows)
+            if summary:
+                sections.append(summary)
+        elif fig in TXN_FIGURES:
+            sections.append(_render_txn(rows))
             summary = _render_metrics_summary(rows)
             if summary:
                 sections.append(summary)

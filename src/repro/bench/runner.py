@@ -36,6 +36,7 @@ from repro.bench.serve import sweep_axes as serve_axes
 from repro.bench.shared import sweep_axes as shared_store_axes
 from repro.bench.store import sweep_axes as store_axes
 from repro.bench.structures import sweep_axes as throughput_axes
+from repro.bench.txn import sweep_axes as txn_axes
 
 
 @dataclass(frozen=True)
@@ -209,6 +210,16 @@ def decompose(figure: int, quick: bool = False) -> List[BenchPoint]:
                     seeded=True,
                     optimizers=(optimizer,),
                     offered_loads=(load,),
+                )
+    elif figure == 20:
+        axes = txn_axes(20, quick)
+        for optimizer in axes["optimizers"]:
+            for txn_size in axes["txn_sizes"]:
+                add(
+                    f"{optimizer},txn={txn_size}",
+                    seeded=True,
+                    optimizers=(optimizer,),
+                    txn_sizes=(txn_size,),
                 )
     else:
         raise KeyError(f"unknown figure {figure}")

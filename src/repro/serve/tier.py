@@ -13,6 +13,9 @@ the benchmarks) and issue three request kinds:
 * ``snapshot_get`` — served from the last published checkpoint when its
   watermark covers the session's LSN floor (read-your-writes gate),
   falling back to the memtable otherwise.
+* ``transact`` — a multi-key atomic write set (``repro.store.txn``),
+  admission-controlled as **one** unit and tracked by one ticket; the
+  session floor advances only at the transaction's commit record.
 
 Backpressure: before every write the tier probes the write-path backlog
 — unsealed epoch records plus the acting thread's in-flight writebacks,
@@ -194,6 +197,61 @@ class ServeTier:
         if self.on_write is not None:
             self.on_write(session.sid, key, ticket)
         self._inflight.append((ticket, arrival))
+        return "ok", ticket
+
+    def transact(
+        self,
+        session: Session,
+        writes: Dict[int, int],
+        *,
+        arrival: Optional[int] = None,
+        rid: Optional[int] = None,
+        backlog: int = 0,
+    ) -> Tuple[str, Optional[object]]:
+        """Admission-gated multi-key atomic write; ``(status, ticket)``.
+
+        *writes* maps key -> value (value 0 = delete).  The whole
+        transaction is **one admission unit**: one offer against the
+        backlog, one rid, one ticket — a shed or delayed transaction
+        leaves no trace, an admitted one is all-or-nothing durable once
+        its ticket acks.  The session's LSN floor advances only at the
+        transaction's commit record, never to an intermediate write.
+        """
+        store = self.store
+        tid = session.tid
+        rid = next(self._rid_seq) if rid is None else rid
+        arrival = self._note_wait(session, arrival)
+        depth = self._probe_depth(tid, backlog)
+
+        decision = self.admission.offer(rid, depth)
+        if decision == "shed":
+            self.stats.inc("serve_rejected")
+            if self.on_shed is not None:
+                self.on_shed(rid, None)
+            self._relieve(tid)
+            return "shed", None
+        if decision == "delay":
+            self.stats.inc("serve_delayed")
+            self._relieve(tid)
+            return "delay", None
+        self.stats.inc("serve_admitted")
+        self.stats.inc("serve_txns")
+        txn = store.begin(tid)
+        for key, value in writes.items():
+            if value:
+                txn.put(key, value)
+            else:
+                txn.delete(key)
+        ticket = txn.commit()
+        session.observe_write(ticket)
+        if self.on_write is not None:
+            for key in writes:
+                self.on_write(session.sid, key, ticket)
+        if ticket.records:
+            self._inflight.append((ticket, arrival))
+        else:
+            # empty write set: durable by vacuity, complete on the spot
+            self.stats.inc("serve_completed")
         return "ok", ticket
 
     # -------------------------------------------------------------- reads

@@ -19,12 +19,17 @@ key-value store built from the repo's own primitives:
 * :mod:`repro.store.shared` — :class:`SharedLogStore`: N threads on one
   shared WAL (CAS-reserved slots), epochs sealed by a leader with one
   cross-thread fence, ack latency as the headline metric.
+* :mod:`repro.store.txn` — :class:`Transaction`: buffered multi-key
+  read/write sets committed as one contiguous OP_TXN run sealed by a
+  per-txn OP_TXN_COMMIT record; all-or-nothing across crashes.
 """
 
 from repro.store.layout import (
     OP_COMMIT,
     OP_DELETE,
     OP_PUT,
+    OP_TXN,
+    OP_TXN_COMMIT,
     RECORD_FIELDS,
     StoreLayout,
     record_crc,
@@ -35,8 +40,10 @@ from repro.store.shared import (
     SharedCommitTicket,
     SharedLogStore,
     SharedWriteAheadLog,
+    StoreHandle,
 )
 from repro.store.store import CommitTicket, DurableStore
+from repro.store.txn import Transaction, TxnAborted, TxnTicket, ticket_lsns
 
 __all__ = [
     "CommitTicket",
@@ -45,13 +52,20 @@ __all__ = [
     "SharedCommitTicket",
     "SharedLogStore",
     "SharedWriteAheadLog",
+    "StoreHandle",
+    "Transaction",
+    "TxnAborted",
+    "TxnTicket",
     "OP_COMMIT",
     "OP_DELETE",
     "OP_PUT",
+    "OP_TXN",
+    "OP_TXN_COMMIT",
     "RECORD_FIELDS",
     "RecoveredState",
     "RecoveryError",
     "StoreLayout",
     "record_crc",
     "recover",
+    "ticket_lsns",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.store.layout import OP_COMMIT
+from repro.store.txn import ticket_lsns
 
 
 class GroupCommitter:
@@ -82,7 +83,9 @@ class GroupCommitter:
             tracer.seal_marker(epoch, marker_lsn, view.ctx.now)
 
         for ticket in batch:
-            store.wal.clean_record(view, ticket.lsn)
+            # a transaction ticket covers its whole contiguous run
+            for lsn in ticket_lsns(ticket):
+                store.wal.clean_record(view, lsn)
         store.wal.clean_record(view, marker_lsn)
         if tracer is not None:
             tracer.seal_cleaned(epoch, view.ctx.now)

@@ -13,11 +13,24 @@ field  name      contents
 ====== ========= ====================================================
 0      LSN       monotonic log sequence number, 1-based; 0 = never
                  written (slots are born zero)
-1      OP        ``OP_PUT`` / ``OP_DELETE`` / ``OP_COMMIT``
-2      KEY       key for payload records; batch size for COMMIT
-3      VALUE     value for PUT; 0 for DELETE/COMMIT
+1      OP        ``OP_PUT`` / ``OP_DELETE`` / ``OP_COMMIT`` /
+                 ``OP_TXN`` / ``OP_TXN_COMMIT``
+2      KEY       key for payload records; batch size for COMMIT;
+                 transaction id for TXN_COMMIT
+3      VALUE     value for PUT; 0 for DELETE/COMMIT; for TXN the
+                 value to put (0 = delete the key); for TXN_COMMIT
+                 the number of TXN records the transaction wrote
 4      CRC       :func:`record_crc` over the four logical fields
 ====== ========= ====================================================
+
+Transactions extend the format without changing it: a transaction's
+``n`` payload records are ``OP_TXN`` records occupying a *contiguous*
+run of slots (the shared log CAS-reserves the whole run at once),
+immediately followed by one ``OP_TXN_COMMIT`` record carrying the txn
+id and ``n``.  Recovery buffers ``OP_TXN`` records and folds them into
+the epoch only when their ``OP_TXN_COMMIT`` arrives — a torn tail that
+cuts the run anywhere before the commit record rolls the whole
+transaction back.
 
 Records are deliberately **packed** (no line alignment): consecutive
 records share cache lines, so the log tail is rewritten and re-cleaned
@@ -48,6 +61,8 @@ RECORD_FIELDS = 5
 OP_PUT = 1
 OP_DELETE = 2
 OP_COMMIT = 3
+OP_TXN = 4  # transactional payload (VALUE 0 = delete)
+OP_TXN_COMMIT = 5  # per-transaction commit record (KEY = txn id)
 
 # checkpoint descriptor field indices
 D_MAGIC = 0

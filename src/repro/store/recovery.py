@@ -20,6 +20,14 @@ The sequence is superblock → checkpoint → log replay:
 
 Operations whose epoch marker never became durable are discarded —
 that is group commit's atomicity: all of a batch or none of it.
+
+Transactions nest one level deeper: ``OP_TXN`` records buffer in their
+own transaction buffer, and only the transaction's ``OP_TXN_COMMIT``
+record (contiguous, written last) folds them into the epoch buffer —
+so a transaction replays iff its commit record survives *and* its
+epoch marker replays.  A torn tail that cuts the run before the commit
+record rolls the whole transaction back (``rolled_back_txns``), never
+a prefix of it.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ from repro.store.layout import (
     OP_COMMIT,
     OP_DELETE,
     OP_PUT,
+    OP_TXN,
+    OP_TXN_COMMIT,
     StoreLayout,
     descriptor_crc,
     record_crc,
@@ -64,6 +74,8 @@ class RecoveredState:
     applied_lsn: int = 0  # last LSN whose effects are in `items`
     replayed_epochs: int = 0
     replayed_records: int = 0
+    replayed_txns: int = 0  # transactions whose commit record replayed
+    rolled_back_txns: int = 0  # torn runs discarded whole
     stop_reason: str = "empty"  # why replay ended
 
 
@@ -91,7 +103,11 @@ def _read_checkpoint(
 
 
 def recover(
-    read: Reader, layout: StoreLayout, *, check_lsn: bool = True
+    read: Reader,
+    layout: StoreLayout,
+    *,
+    check_lsn: bool = True,
+    txn_partial: bool = False,
 ) -> RecoveredState:
     """Rebuild KV state from a crash image.
 
@@ -100,6 +116,12 @@ def recover(
     ignoring the LSN chain — after the log wraps, stale records from an
     earlier lap (self-consistent CRCs and all) resurface.  The crash
     sweep must catch that.
+
+    ``txn_partial=True`` is the seeded ``txn_partial_replay`` mutant:
+    instead of rolling a torn transaction run back whole, buggy replay
+    applies the surviving prefix of its ``OP_TXN`` records directly —
+    exactly the partial-transaction state the stage-7 oracle exists to
+    reject.
     """
     items, watermark = _read_checkpoint(read, layout)
     state = RecoveredState(
@@ -108,6 +130,22 @@ def recover(
     state.stop_reason = "checkpoint_only"
 
     pending: List[Tuple[int, int, int]] = []  # (op, key, value)
+    txn_buffer: List[Tuple[int, int]] = []  # (key, value); 0 = delete
+
+    def discard_txn() -> None:
+        """Roll a commit-record-less transaction run back whole."""
+        if not txn_buffer:
+            return
+        if txn_partial:
+            # seeded bug: the surviving prefix is applied anyway
+            for tkey, tvalue in txn_buffer:
+                if tvalue:
+                    state.items[tkey] = tvalue
+                else:
+                    state.items.pop(tkey, None)
+        state.rolled_back_txns += 1
+        txn_buffer.clear()
+
     expected = watermark + 1
     for _ in range(layout.log_capacity):
         index = layout.slot_of(expected)
@@ -129,7 +167,27 @@ def recover(
             pending.append((op, key, value))
         elif op == OP_DELETE:
             pending.append((op, key, 0))
+        elif op == OP_TXN:
+            txn_buffer.append((key, value))
+        elif op == OP_TXN_COMMIT:
+            # KEY is the txn id (not replayed), VALUE the run length;
+            # contiguous reservation guarantees the buffer holds exactly
+            # this transaction's records — anything else is corruption
+            if value != len(txn_buffer):
+                state.stop_reason = "txn_mismatch"
+                break
+            for tkey, tvalue in txn_buffer:
+                if tvalue:
+                    pending.append((OP_PUT, tkey, tvalue))
+                else:
+                    pending.append((OP_DELETE, tkey, 0))
+            txn_buffer.clear()
+            state.replayed_txns += 1
         elif op == OP_COMMIT:
+            # an epoch marker can never land inside a transaction run
+            # (the run is appended atomically before the sealer sees
+            # its ticket); a dangling buffer here means a stale tail
+            discard_txn()
             for pop, pkey, pvalue in pending:
                 if pop == OP_PUT:
                     state.items[pkey] = pvalue
@@ -145,4 +203,5 @@ def recover(
         expected += 1
     else:
         state.stop_reason = "log_full"
+    discard_txn()
     return state

@@ -50,8 +50,17 @@ from repro.persist.api import PMemView
 from repro.persist.heap import SimHeap
 from repro.sim.stats import Histogram, StatCounter
 from repro.store.checkpoint import CheckpointManager
-from repro.store.layout import OP_COMMIT, OP_DELETE, OP_PUT, RECORD_FIELDS, StoreLayout
+from repro.store.layout import (
+    OP_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    OP_TXN,
+    OP_TXN_COMMIT,
+    RECORD_FIELDS,
+    StoreLayout,
+)
 from repro.store.recovery import RecoveredState
+from repro.store.txn import Transaction, TxnTicket, ticket_lsns
 from repro.store.wal import WriteAheadLog
 
 
@@ -97,6 +106,24 @@ class SharedWriteAheadLog(WriteAheadLog):
         lsn = current + 1
         self.next_lsn = lsn + 1
         return lsn
+
+    def reserve_run(self, view: PMemView, count: int) -> int:
+        """Claim *count* contiguous slots with **one** CAS bump.
+
+        This is what makes a shared-log transaction's records
+        contiguous: the whole run (payloads plus the TXN_COMMIT slot)
+        is reserved atomically, so no other thread's append can land
+        inside it.
+        """
+        if count < 1:
+            raise ValueError("reserve_run needs at least one slot")
+        current = view.read(self.tail_addr)
+        while not view.cas(self.tail_addr, current, current + count):
+            self.tail_cas_failures += 1
+            current = view.read(self.tail_addr)
+        first = current + 1
+        self.next_lsn = first + count
+        return first
 
     def reset_tail(self, view: PMemView, lsn: int) -> None:
         """Re-point the tail word after adoption (transient state)."""
@@ -202,7 +229,9 @@ class EpochSealer:
             tracer.seal_marker(epoch, marker_lsn, view.ctx.now)
 
         for ticket in batch:
-            store.wal.clean_record(view, ticket.lsn)
+            # a transaction ticket covers its whole contiguous run
+            for lsn in ticket_lsns(ticket):
+                store.wal.clean_record(view, lsn)
         store.wal.clean_record(view, marker_lsn)
         if tracer is not None:
             tracer.seal_cleaned(epoch, view.ctx.now)
@@ -275,6 +304,18 @@ class StoreHandle:
 
     def get(self, key: int) -> Optional[int]:
         return self.store.get(self.tid, key)
+
+    def begin(self) -> Transaction:
+        """Open a buffered transaction on this thread's clock."""
+        return self.store.begin(self.tid)
+
+    def sync(self) -> None:
+        """Seal the pending epoch on this thread's clock."""
+        self.store.sync(self.tid)
+
+    def checkpoint(self) -> None:
+        """Sync, then compact, charged to this thread's clock."""
+        self.store.checkpoint(self.tid)
 
 
 class SharedLogStore:
@@ -365,6 +406,7 @@ class SharedLogStore:
         #: causal tracer (repro.obs.trace.StoreTracer); None = zero-cost
         self.tracer = None
         self._commits_at_checkpoint = 0
+        self.txn_counter = 0  # txn ids, monotonic per store instance
 
     @property
     def leader_tid(self) -> int:
@@ -398,8 +440,9 @@ class SharedLogStore:
         if self.probe is not None:
             self.probe(name)
 
-    def _ensure_capacity(self, tid: int) -> None:
-        if self.wal.next_lsn + 1 - self.watermark > self.layout.log_capacity:
+    def _ensure_capacity(self, tid: int, span: int = 1) -> None:
+        # room for the next *span* appends plus the epoch's marker
+        if self.wal.next_lsn + span - self.watermark > self.layout.log_capacity:
             self.checkpoint(tid)
 
     def _maybe_checkpoint(self, tid: int) -> None:
@@ -445,6 +488,93 @@ class SharedLogStore:
     def get(self, tid: int, key: int) -> Optional[int]:
         self.stats.inc("store_gets")
         return self.memtable.get(key)
+
+    # ------------------------------------------------------- transactions
+    def begin(self, tid: int) -> Transaction:
+        """Open a buffered multi-key transaction on thread *tid*."""
+        return Transaction(self, tid)
+
+    def _txn_read(self, tid: int, key: int) -> Optional[int]:
+        """Fall-through read for a transaction buffer miss."""
+        self.stats.inc("store_gets")
+        return self.memtable.get(key)
+
+    def _commit_txn(self, txn: Transaction) -> TxnTicket:
+        """Publish a transaction's write set as one atomic log run.
+
+        The run (``n`` OP_TXN records + one OP_TXN_COMMIT, written
+        last) is claimed with **one** CAS bump of the shared tail, so
+        no other thread's append can land inside it; the sealer then
+        treats the whole run as one batch member — one epoch seal, one
+        clean sequence, one fence makes the transaction durable, and
+        the per-key ``memtable_lsn`` advances only to the commit
+        record's LSN (session floors move at txn commit, not per key).
+        """
+        tid = txn.tid
+        self.stats.inc("store_txns")
+        self.txn_counter += 1
+        txn_id = self.txn_counter
+        writes = txn.writes
+        if not writes:
+            # nothing to log: durable by vacuity, covers no slots
+            return TxnTicket(
+                lsn=self.acked_lsn,
+                txn_id=txn_id,
+                first_lsn=self.acked_lsn + 1,
+                records=0,
+                tid=tid,
+                submit_now=self.views[tid].ctx.now,
+                acked=True,
+            )
+        span = len(writes) + 1  # payload run + TXN_COMMIT record
+        if span + 2 > self.layout.log_capacity:
+            raise ValueError(
+                f"transaction of {len(writes)} writes does not fit a "
+                f"{self.layout.log_capacity}-slot log"
+            )
+        self._ensure_capacity(tid, span)
+        view = self.views[tid]
+        tracer = self.tracer
+        if tracer is not None:
+            trace_id = tracer.op_begin(tid, view.ctx.now)
+        first = self.wal.reserve_run(view, span)
+        self.probe_point("txn_reserved")
+        lsn = first
+        for key, value in writes.items():
+            self.wal.append_at(view, lsn, OP_TXN, key, value)
+            lsn += 1
+            self.probe_point("txn_record_appended")
+        commit_lsn = first + len(writes)
+        self.wal.append_at(
+            view, commit_lsn, OP_TXN_COMMIT, txn_id, len(writes)
+        )
+        for key, value in writes.items():
+            if value:
+                self.memtable[key] = value
+            else:
+                self.memtable.pop(key, None)
+            self.memtable_lsn[key] = commit_lsn
+        self.stats.inc("store_txn_records", len(writes))
+        ticket = TxnTicket(
+            lsn=commit_lsn,
+            txn_id=txn_id,
+            first_lsn=first,
+            records=len(writes),
+            tid=tid,
+            submit_now=view.ctx.now,
+        )
+        if tracer is not None:
+            tracer.op_submitted(trace_id, ticket, ticket.submit_now)
+        if "txn_commit_before_fence" in self.mutants:
+            # seeded bug: the commit record exists only in cache, yet
+            # the client is told the transaction is durable — a crash
+            # before the epoch's fence loses an acknowledged txn
+            ticket.acked = True
+            self.acked_lsn = max(self.acked_lsn, commit_lsn)
+        self.probe_point("txn_committed")
+        self.sealer.submit(tid, ticket)
+        self._maybe_checkpoint(tid)
+        return ticket
 
     def sync(self, tid: Optional[int] = None) -> None:
         """Seal the pending epoch (if any) on *tid*'s clock; durable on

@@ -26,8 +26,16 @@ from repro.persist.heap import SimHeap
 from repro.sim.stats import Histogram, StatCounter
 from repro.store.checkpoint import CheckpointManager
 from repro.store.commit import GroupCommitter
-from repro.store.layout import OP_DELETE, OP_PUT, RECORD_FIELDS, StoreLayout
+from repro.store.layout import (
+    OP_DELETE,
+    OP_PUT,
+    OP_TXN,
+    OP_TXN_COMMIT,
+    RECORD_FIELDS,
+    StoreLayout,
+)
 from repro.store.recovery import RecoveredState
+from repro.store.txn import Transaction, TxnTicket
 from repro.store.wal import WriteAheadLog
 
 
@@ -100,6 +108,7 @@ class DurableStore:
         #: causal tracer (repro.obs.trace.StoreTracer); None = zero-cost
         self.tracer = None
         self._commits_at_checkpoint = 0
+        self.txn_counter = 0  # txn ids, monotonic per store instance
 
     # ---------------------------------------------------------- internals
     def probe_point(self, name: str) -> None:
@@ -107,11 +116,12 @@ class DurableStore:
         if self.probe is not None:
             self.probe(name)
 
-    def _ensure_capacity(self) -> None:
-        # slots in use after this append span (watermark, next_lsn]
-        # plus headroom for the batch's eventual COMMIT marker
+    def _ensure_capacity(self, span: int = 1) -> None:
+        # slots in use after the next *span* appends (watermark,
+        # next_lsn + span - 1] plus headroom for the batch's eventual
+        # COMMIT marker
         if (
-            self.wal.next_lsn + 1 - self.watermark
+            self.wal.next_lsn + span - self.watermark
             > self.layout.log_capacity
         ):
             self.checkpoint()
@@ -157,6 +167,86 @@ class DurableStore:
     def get(self, key: int) -> Optional[int]:
         self.stats.inc("store_gets")
         return self.memtable.get(key)
+
+    # ------------------------------------------------------- transactions
+    def begin(self) -> Transaction:
+        """Open a buffered multi-key transaction (see repro.store.txn)."""
+        return Transaction(self, 0)
+
+    def _txn_read(self, tid: int, key: int) -> Optional[int]:
+        """Fall-through read for a transaction buffer miss."""
+        self.stats.inc("store_gets")
+        return self.memtable.get(key)
+
+    def _commit_txn(self, txn: Transaction) -> TxnTicket:
+        """Publish a transaction's write set as one atomic log run.
+
+        The run — ``n`` OP_TXN records plus one OP_TXN_COMMIT record,
+        written last — is reserved contiguously, appended, and handed to
+        the group committer as **one** ticket: the epoch's clean
+        sequence and single fence cover the whole run, and recovery
+        replays it iff the commit record (and its epoch marker)
+        survives.
+        """
+        self.stats.inc("store_txns")
+        self.txn_counter += 1
+        txn_id = self.txn_counter
+        writes = txn.writes
+        if not writes:
+            # nothing to log: durable by vacuity, covers no slots
+            return TxnTicket(
+                lsn=self.acked_lsn,
+                txn_id=txn_id,
+                first_lsn=self.acked_lsn + 1,
+                records=0,
+                acked=True,
+            )
+        span = len(writes) + 1  # payload run + TXN_COMMIT record
+        if span + 2 > self.layout.log_capacity:
+            raise ValueError(
+                f"transaction of {len(writes)} writes does not fit a "
+                f"{self.layout.log_capacity}-slot log"
+            )
+        self._ensure_capacity(span)
+        view = self.view
+        tracer = self.tracer
+        if tracer is not None:
+            trace_id = tracer.op_begin(0, view.ctx.now)
+        first = self.wal.reserve_run(view, span)
+        self.probe_point("txn_reserved")
+        lsn = first
+        for key, value in writes.items():
+            self.wal.append_at(view, lsn, OP_TXN, key, value)
+            lsn += 1
+            self.probe_point("txn_record_appended")
+        commit_lsn = first + len(writes)
+        self.wal.append_at(
+            view, commit_lsn, OP_TXN_COMMIT, txn_id, len(writes)
+        )
+        for key, value in writes.items():
+            if value:
+                self.memtable[key] = value
+            else:
+                self.memtable.pop(key, None)
+        self.stats.inc("store_txn_records", len(writes))
+        ticket = TxnTicket(
+            lsn=commit_lsn,
+            txn_id=txn_id,
+            first_lsn=first,
+            records=len(writes),
+        )
+        if tracer is not None:
+            tracer.op_submitted(trace_id, ticket, view.ctx.now)
+        if "txn_commit_before_fence" in self.mutants:
+            # seeded bug: the commit record exists only in cache, yet
+            # the client is told the transaction is durable — a crash
+            # before the epoch's fence loses an acknowledged txn
+            ticket.acked = True
+            self.acked_lsn = max(self.acked_lsn, commit_lsn)
+        self.probe_point("txn_committed")
+        self.committer.submit(ticket)
+        self._maybe_checkpoint()
+        return ticket
 
     def sync(self) -> None:
         """Seal the pending batch (if any); durable on return."""

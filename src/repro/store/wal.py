@@ -46,6 +46,19 @@ class WriteAheadLog:
         self.next_lsn += 1
         return lsn
 
+    def reserve_run(self, view: PMemView, count: int) -> int:
+        """Claim *count* contiguous slots; returns the first LSN.
+
+        One reservation covers a whole transaction, so its records can
+        never interleave with another thread's — the run plus its
+        TXN_COMMIT record is one unbroken LSN range in the log.
+        """
+        if count < 1:
+            raise ValueError("reserve_run needs at least one slot")
+        first = self.next_lsn
+        self.next_lsn += count
+        return first
+
     def append(self, view: PMemView, op: int, key: int, value: int) -> int:
         """Write one record into the next slot; returns its LSN.
 
@@ -55,6 +68,13 @@ class WriteAheadLog:
         LSN word without the rest, which recovery catches.)
         """
         lsn = self.reserve(view)
+        self.append_at(view, lsn, op, key, value)
+        return lsn
+
+    def append_at(
+        self, view: PMemView, lsn: int, op: int, key: int, value: int
+    ) -> None:
+        """Write one record into an already-reserved slot *lsn*."""
         if self.on_append is not None:
             self.on_append(lsn, op, key, value)
         index = self.layout.slot_of(lsn)
@@ -68,7 +88,6 @@ class WriteAheadLog:
         view.write(self.layout.field_addr(index, F_LSN), lsn)
         self.records_appended += 1
         self.bytes_appended += self.layout.slot_bytes
-        return lsn
 
     def clean_record(self, view: PMemView, lsn: int) -> None:
         """Request a non-invalidating writeback of every record word.

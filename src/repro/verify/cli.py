@@ -1,6 +1,6 @@
 """``python -m repro.verify`` — the verification harness entry point.
 
-``--smoke`` (the default, also the CI gate) runs six stages:
+``--smoke`` (the default, also the CI gate) runs seven stages:
 
 1. **Timing crash-point matrix** — {clean, flush} x dirty-in-{own L1,
    other L1, L2, victim L3} x Skip It on/off through
@@ -33,6 +33,12 @@
    snapshot reads exercised), checking journal-prefix durability at
    every crash point plus read-your-writes, per-session monotonic
    reads, and that shed requests are never journaled or recovered.
+7. **Transaction sweep** — multi-key atomicity over
+   :class:`~repro.verify.txn.SharedTxnCrashSweep`: mixed plain and
+   transactional traffic on the 3-thread shared log, every optimizer x
+   group-commit {1, 8, 64}; the :class:`~repro.verify.txn.TxnOracle`
+   rejects any crash image recovering a proper subset of a
+   transaction's writes or any write of an uncommitted transaction.
 
 Exit status: 0 all green, 1 on any oracle violation or model divergence,
 2 when FSM coverage is below the floor (``--floor``, default 90% of
@@ -61,6 +67,7 @@ from repro.verify.injector import (
 )
 from repro.verify.serve import run_serve_sweep
 from repro.verify.store import run_shared_store_sweep, run_store_sweep
+from repro.verify.txn import run_txn_sweep
 
 MATRIX_ADDR = 0x10000
 MATRIX_VALUE = 42
@@ -331,6 +338,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out.append("== serve session sweep ==")
     for name, report in run_serve_sweep():
+        mark = "ok" if report.ok else "FAIL"
+        out.append(
+            f"  {mark} {name:<28} {report.crash_points} crash points "
+            f"over {report.boundaries} boundaries"
+        )
+        failures += len(report.violations)
+        for violation in report.violations[:3]:
+            out.append(f"       {violation}")
+
+    out.append("== txn atomicity sweep ==")
+    for name, report in run_txn_sweep():
         mark = "ok" if report.ok else "FAIL"
         out.append(
             f"  {mark} {name:<28} {report.crash_points} crash points "

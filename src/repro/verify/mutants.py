@@ -122,6 +122,28 @@ SERVE_MUTANTS: Dict[str, str] = {
 }
 
 
+#: transaction mutants: seeded bugs the stage-7 txn sweeps
+#: (:class:`repro.verify.txn.TxnCrashSweep` /
+#: :class:`repro.verify.txn.SharedTxnCrashSweep`) must turn red on.
+#: ``txn_commit_before_fence`` flows into the store's ``mutants`` set;
+#: ``txn_partial_replay`` flips ``txn_partial=True`` on
+#: :func:`repro.store.recovery.recover`.
+TXN_MUTANTS: Dict[str, str] = {
+    "txn_partial_replay": (
+        "recovery applies the surviving prefix of a transaction whose "
+        "commit record was torn off, instead of rolling the run back "
+        "whole — exactly the partial-transaction state the TxnOracle "
+        "subset check rejects"
+    ),
+    "txn_commit_before_fence": (
+        "the transaction commit path acknowledges the ticket as soon as "
+        "the OP_TXN_COMMIT record is in cache, before any epoch seal or "
+        "fence — a crash before the fence loses an acknowledged "
+        "transaction"
+    ),
+}
+
+
 @contextmanager
 def soc_mutant(name: str) -> Iterator[None]:
     """Patch the cycle-level model with one known bug for the block.

@@ -36,7 +36,7 @@ from repro.persist.flushopt import make_optimizer
 from repro.persist.heap import SimHeap
 from repro.persist.policies import make_policy
 from repro.persist.structures.base import persisted_reader
-from repro.store.layout import OP_DELETE, OP_PUT
+from repro.store.layout import OP_DELETE, OP_PUT, OP_TXN, OP_TXN_COMMIT
 from repro.store.recovery import RecoveryError, recover
 from repro.store.shared import SharedLogStore
 from repro.store.store import DurableStore
@@ -83,8 +83,15 @@ class StoreOracle:
         self.journal[lsn] = (op, key, value)
 
     def reference_state(self, applied_lsn: int) -> Dict[int, int]:
-        """KV state after replaying the journal prefix up to a marker."""
+        """KV state after replaying the journal prefix up to a marker.
+
+        Mirrors :func:`repro.store.recovery.recover` exactly, including
+        transactions: OP_TXN records buffer and fold in only at their
+        OP_TXN_COMMIT, so a transaction whose commit record lies beyond
+        ``applied_lsn`` contributes nothing.
+        """
         state: Dict[int, int] = {}
+        txn_buffer: List[Tuple[int, int]] = []  # (key, value); 0 = delete
         for lsn in sorted(self.journal):
             if lsn > applied_lsn:
                 break
@@ -93,6 +100,15 @@ class StoreOracle:
                 state[key] = value
             elif op == OP_DELETE:
                 state.pop(key, None)
+            elif op == OP_TXN:
+                txn_buffer.append((key, value))
+            elif op == OP_TXN_COMMIT:
+                for tkey, tvalue in txn_buffer[-value:] if value else []:
+                    if tvalue:
+                        state[tkey] = tvalue
+                    else:
+                        state.pop(tkey, None)
+                txn_buffer.clear()
         return state
 
     def check(
@@ -104,9 +120,12 @@ class StoreOracle:
         initiated_lsn: int,
         at: object,
         check_lsn: bool = True,
+        txn_partial: bool = False,
     ) -> List[Violation]:
         try:
-            state = recover(read, layout, check_lsn=check_lsn)
+            state = recover(
+                read, layout, check_lsn=check_lsn, txn_partial=txn_partial
+            )
         except RecoveryError as exc:
             return [
                 Violation(

@@ -1,0 +1,224 @@
+"""Transactional throughput driver (the figure-20 workload).
+
+Transfer-style transactions on a :class:`~repro.store.shared.SharedLogStore`:
+each step opens a transaction, snapshot-reads its keys (charged cache
+traffic through the thread's view — the read-validate phase a real
+transfer performs), then either aborts client-side (~10% of attempts,
+after the reads are paid for) or writes all ``txn_size`` keys and
+commits.  The commit is one contiguous CAS-reserved run in the shared
+WAL counting as **one ticket** toward the epoch trigger, so the
+figure's headline ratio — fences per committed transaction — stays
+flat as the write set grows: an 8-key transaction costs the same fence
+budget as a 1-key put, and fences per *record* fall in proportion.
+Every committed ticket's submit→durable cycles land in the ack-latency
+histograms.
+
+Aborts never touch the log (the whole point of client-side buffering);
+their cost is the read-validate traffic already spent, reported as the
+abort-latency percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.attach import shared_store_registry, timing_registry
+from repro.persist.api import PMemView
+from repro.persist.flushopt import make_optimizer
+from repro.persist.heap import SimHeap
+from repro.persist.policies import make_policy
+from repro.serve.session import SnapshotReader
+from repro.sim.stats import Histogram
+from repro.store.shared import SharedLogStore
+from repro.timing.params import TimingParams
+from repro.timing.scheduler import VirtualTimeScheduler
+from repro.timing.system import TimingSystem
+
+
+@dataclass
+class TxnResult:
+    """Outcome of one (optimizer, txn_size) transactional cell."""
+
+    optimizer: str
+    txn_size: int
+    group_commit: int
+    threads: int
+    total_txns: int  # attempted (committed + aborted)
+    committed: int
+    aborted: int
+    elapsed_cycles: int
+    throughput_mtps: float  # million committed txns per second
+    fences: int
+    fences_per_txn: float
+    ack_p50: float
+    ack_p99: float
+    abort_p50: float
+    abort_p99: float
+    cbo_issued: int
+    cbo_skipped: int
+    wal_records: int
+    wal_bytes: int
+    commits: int
+    checkpoints: int
+    flush_requests: int
+    ack_clamped: int = 0
+    #: ``timing.*`` + ``store.shared.*`` metrics snapshot
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+class TxnBenchmark:
+    """One configured transactional-store experiment (figure 20)."""
+
+    def __init__(
+        self,
+        optimizer: str,
+        txn_size: int,
+        group_commit: int = 4,
+        threads: int = 2,
+        key_range: int = 256,
+        log_capacity: int = 512,
+        num_buckets: int = 64,
+        flit_table_entries: int = 1024,
+        abort_rate: float = 0.1,
+        skip_it: Optional[bool] = None,
+        seed: int = 12345,
+    ) -> None:
+        if txn_size < 1:
+            raise ValueError("txn_size must be >= 1")
+        self.optimizer_name = optimizer
+        self.txn_size = txn_size
+        self.group_commit = group_commit
+        self.threads = threads
+        self.key_range = key_range
+        self.log_capacity = log_capacity
+        self.num_buckets = num_buckets
+        self.flit_table_entries = flit_table_entries
+        self.abort_rate = abort_rate
+        self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.seed = seed
+
+    def run(self, duration: int = 200_000) -> TxnResult:
+        params = TimingParams(num_threads=self.threads, skip_it=self.skip_it)
+        system = TimingSystem(params)
+        heap = SimHeap(line_bytes=params.line_bytes)
+        optimizer = make_optimizer(
+            self.optimizer_name, heap, self.flit_table_entries
+        )
+        policy = make_policy("none")
+        views = [
+            PMemView(ctx, policy, optimizer)
+            for ctx in system.threads[: self.threads]
+        ]
+        store = SharedLogStore(
+            heap,
+            views,
+            log_capacity=self.log_capacity,
+            batch_size=self.group_commit,
+            num_buckets=self.num_buckets,
+        )
+
+        # Prefill to ~50% occupancy and checkpoint, so the snapshot
+        # read-validate phase has a published checkpoint to walk and
+        # measurement starts from a durable steady state.
+        rng = random.Random(self.seed)
+        for key in rng.sample(range(1, self.key_range + 1), self.key_range // 2):
+            store.put(0, key, key + self.key_range)
+        store.checkpoint(0)
+        system.persist_all()
+        optimizer.declare_persisted(system)
+        system.stats.reset()
+        store.reset_measurement()
+
+        snapshots = SnapshotReader(store)
+        abort_latency = Histogram()
+        steps = [
+            self._make_step(
+                store, snapshots, abort_latency, tid, self.seed + 7 * tid
+            )
+            for tid in range(self.threads)
+        ]
+        scheduler = VirtualTimeScheduler(system)
+        result = scheduler.run(steps, duration=duration, warmup=0)
+        store.sync()
+
+        stats = system.stats.as_dict()
+        registry = timing_registry(system)
+        snapshot = registry.snapshot()
+        snapshot["store.shared"] = shared_store_registry(store).snapshot()
+
+        committed = store.stats.get("store_txns")
+        aborted = store.stats.get("store_txn_aborts")
+        ack = store.ack_latency_all
+        elapsed = result.elapsed
+        return TxnResult(
+            optimizer=self.optimizer_name,
+            txn_size=self.txn_size,
+            group_commit=self.group_commit,
+            threads=self.threads,
+            total_txns=committed + aborted,
+            committed=committed,
+            aborted=aborted,
+            elapsed_cycles=elapsed,
+            # committed txns/sec at the paper's 50 MHz core clock (§7.1)
+            throughput_mtps=(
+                committed * 50e6 / elapsed / 1e6 if elapsed else 0.0
+            ),
+            fences=store.stats.get("store_fences"),
+            fences_per_txn=(
+                store.stats.get("store_fences") / committed if committed else 0.0
+            ),
+            ack_p50=ack.p50() if ack.count else 0.0,
+            ack_p99=ack.p99() if ack.count else 0.0,
+            abort_p50=abort_latency.p50() if abort_latency.count else 0.0,
+            abort_p99=abort_latency.p99() if abort_latency.count else 0.0,
+            cbo_issued=stats.get("cbo_issued", 0),
+            cbo_skipped=stats.get("cbo_skipped", 0),
+            wal_records=store.wal.records_appended,
+            wal_bytes=store.wal.bytes_appended,
+            commits=store.stats.get("store_commits"),
+            checkpoints=store.stats.get("store_checkpoints"),
+            flush_requests=sum(v.flush_requests for v in store.views),
+            ack_clamped=store.stats.get("store_ack_latency_clamped"),
+            metrics=snapshot,
+        )
+
+    def _make_step(
+        self,
+        store: SharedLogStore,
+        snapshots: SnapshotReader,
+        abort_latency: Histogram,
+        tid: int,
+        seed: int,
+    ):
+        rng = random.Random(seed)
+        key_range = self.key_range
+        txn_size = self.txn_size
+        abort_rate = self.abort_rate
+        view = store.views[tid]
+        # disjoint value spaces per thread keep provenance unambiguous
+        next_value = key_range * 2 + tid * 10_000_000
+
+        def step(ctx) -> None:
+            nonlocal next_value
+            began = view.ctx.now
+            txn = store.begin(tid)
+            keys = [rng.randint(1, key_range) for _ in range(txn_size)]
+            for key in keys:
+                # read-validate through the checkpoint: charged traffic
+                snapshots.read(view, key)
+                txn.get(key)
+            if rng.random() < abort_rate:
+                txn.abort()
+                abort_latency.add(view.ctx.now - began)
+                return
+            for key in keys:
+                next_value += 1
+                txn.put(key, next_value)
+            txn.commit()
+
+        return step
+
+    # each scheduler step is one transaction attempt; result.total_ops
+    # therefore counts attempts, and committed/aborted split them

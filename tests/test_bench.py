@@ -28,7 +28,7 @@ class TestFormat:
 
 class TestFigureRegistry:
     def test_all_figures_present(self):
-        assert sorted(FIGURES) == [9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19]
+        assert sorted(FIGURES) == [9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20]
 
 
 class TestMicroRunners:

@@ -11,6 +11,7 @@ from repro.bench import (
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
     THROUGHPUT_FIGURES,
+    TXN_FIGURES,
     baseline,
 )
 from repro.bench.micro import MicroRow
@@ -196,6 +197,7 @@ class TestCliDispatch:
             | STORE_FIGURES
             | SHARED_STORE_FIGURES
             | SERVE_FIGURES
+            | TXN_FIGURES
         ) == set(FIGURES)
         assert not MICRO_FIGURES & THROUGHPUT_FIGURES
         assert not STORE_FIGURES & (MICRO_FIGURES | THROUGHPUT_FIGURES)
@@ -207,6 +209,13 @@ class TestCliDispatch:
             | THROUGHPUT_FIGURES
             | STORE_FIGURES
             | SHARED_STORE_FIGURES
+        )
+        assert not TXN_FIGURES & (
+            MICRO_FIGURES
+            | THROUGHPUT_FIGURES
+            | STORE_FIGURES
+            | SHARED_STORE_FIGURES
+            | SERVE_FIGURES
         )
 
     def test_empty_micro_figure_prints_micro_header(self, monkeypatch, capsys):

@@ -108,6 +108,35 @@ class TestSharedCommit:
         handle.delete(9)
         assert handle.get(9) is None
 
+    def test_handle_sync_seals_partial_epoch(self):
+        system, heap, views, store = mk_shared(threads=2, batch_size=8)
+        handle = store.handle(1)
+        ticket = handle.put(3, 33)
+        assert not ticket.acked
+        handle.sync()  # charged to the handle's own thread
+        assert ticket.acked
+        assert store.acked_lsn == store.initiated_lsn
+
+    def test_handle_checkpoint_advances_watermark(self):
+        system, heap, views, store = mk_shared(threads=2, batch_size=2)
+        handle = store.handle(1)
+        handle.put(3, 33)
+        handle.put(4, 44)
+        before = store.watermark
+        handle.checkpoint()
+        assert store.watermark > before
+        assert store.stats.get("store_checkpoints") == 1
+
+    def test_handle_begin_binds_txn_tid(self):
+        system, heap, views, store = mk_shared(threads=2, batch_size=2)
+        handle = store.handle(1)
+        txn = handle.begin()
+        txn.put(5, 55)
+        txn.put(6, 66)
+        ticket = txn.commit()
+        assert ticket.tid == 1
+        assert store.get(0, 5) == 55 and store.get(0, 6) == 66
+
     def test_cycle_budget_seals_partial_epoch(self):
         system, heap, views, store = mk_shared(
             threads=2, batch_size=16, cycle_budget=10_000
@@ -331,6 +360,61 @@ class TestReserveProperties:
         state = recovered(system, store)
         assert state.items == expected
         assert state.applied_lsn == store.acked_lsn
+        assert store.wal.tail_cas_failures == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 2),  # tid
+                st.integers(0, 3),  # 0-1: plain put, 2: commit, 3: abort
+                st.integers(1, 7),  # base key
+            ),
+            min_size=12,
+            max_size=48,
+        )
+    )
+    def test_interleaved_txns_round_trip_atomically(self, ops):
+        """Txn + plain ops mixed across 3 threads survive recovery whole.
+
+        Committed transactions apply every write, aborted ones none, and
+        the contiguous-run reservation keeps ticket LSNs globally ordered
+        across the interleaving — all after a full seal + recover cycle.
+        """
+        system, heap, views, store = mk_shared(
+            threads=3, batch_size=2, log_capacity=96
+        )
+        expected = {}
+        ticket_lsn_order = []
+        committed_txns = 0
+        for i, (tid, action, key) in enumerate(ops):
+            value = 9000 + i * 10
+            if action <= 1:  # plain put
+                ticket_lsn_order.append(store.put(tid, key, value).lsn)
+                expected[key] = value
+            else:
+                txn = store.begin(tid)
+                writes = {
+                    1 + (key + j - 1) % 7: value + j for j in range(2 + i % 2)
+                }
+                for wkey, wvalue in writes.items():
+                    txn.put(wkey, wvalue)
+                if action == 2:
+                    ticket_lsn_order.append(txn.commit().lsn)
+                    expected.update(writes)
+                    committed_txns += 1
+                else:
+                    txn.abort()  # buffered only: no log traffic at all
+        store.sync()
+        # submission order IS LSN order, txn runs included
+        assert ticket_lsn_order == sorted(ticket_lsn_order)
+        assert len(set(ticket_lsn_order)) == len(ticket_lsn_order)
+        assert store.memtable == expected
+        state = recovered(system, store)
+        assert state.items == expected
+        assert state.applied_lsn == store.acked_lsn
+        assert state.replayed_txns == committed_txns
+        assert state.rolled_back_txns == 0  # aborts never reached the log
         assert store.wal.tail_cas_failures == 0
 
 

@@ -22,12 +22,14 @@ from repro.verify.mutants import (
     SOC_MUTANTS,
     STORE_MUTANTS,
     TIMING_MUTANTS,
+    TXN_MUTANTS,
     soc_mutant,
     timing_mutant,
 )
 from repro.verify.oracle import DurabilityOracle, WordHistory
 from repro.verify.serve import ServeCrashSweep
 from repro.verify.store import SharedStoreCrashSweep, StoreCrashSweep
+from repro.verify.txn import SharedTxnCrashSweep, TxnCrashSweep
 
 ADDR = 0x10000
 
@@ -255,6 +257,54 @@ class TestServeMutantsCaught:
     def test_unmutated_sweep_is_green(self, optimizer, group_commit):
         report = ServeCrashSweep(optimizer, group_commit=group_commit).run()
         assert report.ok, report.summary()
+
+
+#: violation kinds each transaction mutant must produce in the sweep
+TXN_EXPECTED_KIND = {
+    "txn_partial_replay": "txn_partial",
+    "txn_commit_before_fence": "lost",
+}
+
+
+class TestTxnMutantsCaught:
+    """False-negative guarantee of the stage-7 transaction sweeps.
+
+    ``txn_partial_replay`` only bites when a crash image tears a
+    transaction's commit record off a surviving payload prefix — the
+    ``txn_record_appended`` probes between a run's appends crash inside
+    exactly that window.  ``txn_commit_before_fence`` acks the ticket at
+    the commit record, so the very next crash image shows acked > applied.
+    """
+
+    @pytest.mark.parametrize("mutant", sorted(TXN_MUTANTS))
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_mutant_turns_private_sweep_red(self, mutant, optimizer):
+        report = TxnCrashSweep(
+            optimizer, group_commit=8, mutants=(mutant,)
+        ).run()
+        assert not report.ok, f"{mutant} not caught on {optimizer}"
+        kinds = {violation.kind for violation in report.violations}
+        assert TXN_EXPECTED_KIND[mutant] in kinds, report.violations
+
+    @pytest.mark.parametrize("mutant", sorted(TXN_MUTANTS))
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    def test_mutant_turns_shared_sweep_red(self, mutant, optimizer):
+        report = SharedTxnCrashSweep(
+            optimizer, group_commit=8, threads=3, mutants=(mutant,)
+        ).run()
+        assert not report.ok, f"{mutant} not caught on {optimizer}"
+        kinds = {violation.kind for violation in report.violations}
+        assert TXN_EXPECTED_KIND[mutant] in kinds, report.violations
+
+    @pytest.mark.parametrize("optimizer", ["plain", "skipit"])
+    @pytest.mark.parametrize("group_commit", [1, 8])
+    def test_unmutated_sweeps_are_green(self, optimizer, group_commit):
+        private = TxnCrashSweep(optimizer, group_commit=group_commit).run()
+        assert private.ok, private.summary()
+        shared = SharedTxnCrashSweep(
+            optimizer, group_commit=group_commit, threads=3
+        ).run()
+        assert shared.ok, shared.summary()
 
 
 class TestWordHistory:
