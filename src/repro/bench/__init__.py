@@ -14,6 +14,7 @@ from repro.bench.micro import (
     run_fig12,
     run_fig13,
 )
+from repro.bench.range import run_fig21
 from repro.bench.serve import run_fig19
 from repro.bench.shared import run_fig18
 from repro.bench.store import run_fig17
@@ -33,6 +34,7 @@ FIGURES = {
     18: run_fig18,
     19: run_fig19,
     20: run_fig20,
+    21: run_fig21,
 }
 
 #: figures by declared row type — the CLI/report dispatch on these sets
@@ -43,9 +45,27 @@ STORE_FIGURES = frozenset({17})
 SHARED_STORE_FIGURES = frozenset({18})
 SERVE_FIGURES = frozenset({19})
 TXN_FIGURES = frozenset({20})
+RANGE_FIGURES = frozenset({21})
+
+#: figure number -> row-kind tag.  The single source of truth for how a
+#: serialized row is keyed, value-compared, and rendered: every row
+#: dataclass carries a ``figure`` field, so the CLI, report, baseline
+#: and regression layers all dispatch on ``FIGURE_KINDS[row["figure"]]``
+#: instead of sniffing which fields happen to be present.
+FIGURE_KINDS = {
+    **{f: "micro" for f in MICRO_FIGURES},
+    **{f: "throughput" for f in THROUGHPUT_FIGURES},
+    **{f: "store" for f in STORE_FIGURES},
+    **{f: "shared" for f in SHARED_STORE_FIGURES},
+    **{f: "serve" for f in SERVE_FIGURES},
+    **{f: "txn" for f in TXN_FIGURES},
+    **{f: "range" for f in RANGE_FIGURES},
+}
 
 __all__ = [
+    "FIGURE_KINDS",
     "MICRO_FIGURES",
+    "RANGE_FIGURES",
     "SERVE_FIGURES",
     "SHARED_STORE_FIGURES",
     "STORE_FIGURES",
@@ -63,5 +83,6 @@ __all__ = [
     "run_fig18",
     "run_fig19",
     "run_fig20",
+    "run_fig21",
     "FIGURES",
 ]

@@ -18,6 +18,8 @@ import json
 from dataclasses import asdict
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.bench import FIGURE_KINDS
+
 SCHEMA_VERSION = 1
 
 #: numeric row fields compared against the baseline, per row kind
@@ -78,35 +80,75 @@ SERVE_VALUE_FIELDS = (
     "commits",
     "wal_records",
 )
+RANGE_VALUE_FIELDS = (
+    "sweep_cycles",
+    "resweep_cycles",
+    "throughput_mops",
+    "fences",
+    "ranged_seals",
+    "flush_requests",
+    "cbo_issued",
+    "cbo_skipped",
+    "cbo_range_issued",
+    "cbo_range_lines",
+    "cbo_range_skipped",
+    "fences_per_kop",
+)
+#: compared value fields per row kind (see ``repro.bench.FIGURE_KINDS``)
+KIND_VALUE_FIELDS = {
+    "micro": MICRO_VALUE_FIELDS,
+    "throughput": THROUGHPUT_VALUE_FIELDS,
+    "store": STORE_VALUE_FIELDS,
+    "shared": SHARED_STORE_VALUE_FIELDS,
+    "serve": SERVE_VALUE_FIELDS,
+    "txn": TXN_VALUE_FIELDS,
+    "range": RANGE_VALUE_FIELDS,
+}
 #: default relative tolerance band for --check
 DEFAULT_REL_TOL = 0.02
 
 
+def row_kind(row: Mapping[str, object]) -> str:
+    """Kind tag of a serialized row: dispatched on its ``figure`` field.
+
+    Every row dataclass (and therefore every baseline row ever written)
+    carries its figure number, so the kind is an explicit lookup rather
+    than sniffing which fields happen to be present — field-sniffing
+    broke as soon as two kinds shared a field name (``RangeRow.series``
+    vs ``MicroRow.series``).
+    """
+    return FIGURE_KINDS[int(row["figure"])]
+
+
 def _row_key(row: Mapping[str, object]) -> str:
     """Stable identity of a row within its figure (kind-aware)."""
-    if "series" in row:  # MicroRow
+    kind = row_kind(row)
+    if kind == "micro":
         return f"{row['series']}|size={row['size_bytes']}|t={row['threads']}"
-    if "txn_size" in row:  # TxnRow (checked before ServeRow and
-        # SharedStoreRow: all three carry ack_p50)
+    if kind == "txn":
         return (
             f"txn|{row['optimizer']}|n={row['txn_size']}"
             f"|gc={row['group_commit']}|t={row['threads']}"
         )
-    if "offered_load" in row:  # ServeRow (checked before SharedStoreRow:
-        # both carry ack_p50)
+    if kind == "serve":
         return (
             f"serve|{row['optimizer']}|load={row['offered_load']:g}"
             f"|s={row['sessions']}|gc={row['group_commit']}"
         )
-    if "ack_p50" in row:  # SharedStoreRow (checked before StoreRow: both
-        # carry group_commit)
+    if kind == "shared":
         return (
             f"shared|{row['optimizer']}|t={row['threads']}"
             f"|gc={row['group_commit']}"
         )
-    if "group_commit" in row:  # StoreRow
+    if kind == "store":
         return (
             f"store|{row['optimizer']}|gc={row['group_commit']}"
+            f"|t={row['threads']}"
+        )
+    if kind == "range":
+        return (
+            f"range|{row['series']}|{row['mode']}|{row['optimizer']}"
+            f"|size={row['size_bytes']}|gc={row['group_commit']}"
             f"|t={row['threads']}"
         )
     return (
@@ -225,18 +267,7 @@ def check(
             problems.append(f"fig {fig}: row not in baseline: {key}")
         for key in sorted(set(cur_rows) & set(base_rows)):
             cur, base = cur_rows[key], base_rows[key]
-            if "series" in cur:
-                fields = MICRO_VALUE_FIELDS
-            elif "txn_size" in cur:
-                fields = TXN_VALUE_FIELDS
-            elif "offered_load" in cur:
-                fields = SERVE_VALUE_FIELDS
-            elif "ack_p50" in cur:
-                fields = SHARED_STORE_VALUE_FIELDS
-            elif "group_commit" in cur:
-                fields = STORE_VALUE_FIELDS
-            else:
-                fields = THROUGHPUT_VALUE_FIELDS
+            fields = KIND_VALUE_FIELDS[row_kind(cur)]
             for name in fields:
                 if not _close(cur.get(name), base.get(name), rel_tol):
                     problems.append(

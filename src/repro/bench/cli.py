@@ -15,17 +15,10 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.bench import (
-    FIGURES,
-    MICRO_FIGURES,
-    SERVE_FIGURES,
-    SHARED_STORE_FIGURES,
-    STORE_FIGURES,
-    TXN_FIGURES,
-    baseline,
-)
+from repro.bench import FIGURE_KINDS, FIGURES, baseline
 from repro.bench.format import format_table, human_size
 from repro.bench.micro import MicroRow
+from repro.bench.range import RangeRow
 from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
@@ -240,6 +233,57 @@ def _print_txn(rows: List[TxnRow]) -> None:
         )
 
 
+def _print_range(rows: List[RangeRow]) -> None:
+    print(
+        format_table(
+            [
+                "series",
+                "mode",
+                "optimizer",
+                "size",
+                "sweep cyc",
+                "resweep cyc",
+                "Mops/s",
+                "fences",
+                "flush reqs",
+                "cbo",
+                "cbo.range",
+                "fences/kop",
+            ],
+            [
+                (
+                    r.series,
+                    r.mode,
+                    r.optimizer or "-",
+                    human_size(r.size_bytes) if r.size_bytes else "-",
+                    r.sweep_cycles,
+                    r.resweep_cycles,
+                    round(r.throughput_mops, 3),
+                    r.fences,
+                    r.flush_requests,
+                    r.cbo_issued,
+                    r.cbo_range_issued,
+                    round(r.fences_per_kop, 2),
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+#: row-kind tag -> printer; the tag comes from FIGURE_KINDS, not from
+#: sniffing which fields a row happens to carry
+_PRINTERS = {
+    "micro": _print_micro,
+    "throughput": _print_throughput,
+    "store": _print_store,
+    "shared": _print_shared,
+    "serve": _print_serve,
+    "txn": _print_txn,
+    "range": _print_range,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skipit-bench",
@@ -324,18 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for fig in figures:
         run = runs[fig]
         print(f"\n=== Figure {fig} ===")
-        if fig in MICRO_FIGURES:
-            _print_micro(run.rows)
-        elif fig in STORE_FIGURES:
-            _print_store(run.rows)
-        elif fig in SHARED_STORE_FIGURES:
-            _print_shared(run.rows)
-        elif fig in SERVE_FIGURES:
-            _print_serve(run.rows)
-        elif fig in TXN_FIGURES:
-            _print_txn(run.rows)
-        else:
-            _print_throughput(run.rows)
+        _PRINTERS[FIGURE_KINDS[fig]](run.rows)
         print(f"[figure {fig}: {run.points} points, {run.elapsed:.1f}s]")
 
     status = 0

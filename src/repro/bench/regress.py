@@ -30,15 +30,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.bench import baseline as baseline_mod
-from repro.bench.baseline import (
-    MICRO_VALUE_FIELDS,
-    SERVE_VALUE_FIELDS,
-    SHARED_STORE_VALUE_FIELDS,
-    STORE_VALUE_FIELDS,
-    THROUGHPUT_VALUE_FIELDS,
-    TXN_VALUE_FIELDS,
-    _row_key,
-)
+from repro.bench.baseline import KIND_VALUE_FIELDS, _row_key, row_kind
 
 #: default band: same as --check, deliberately tight — the sims are
 #: deterministic, so any delta at all is a code change speaking
@@ -78,6 +70,12 @@ FIELD_DIRECTION: Dict[str, str] = {
     "cbo_skipped": "neutral",
     "wal_records": "neutral",
     "commits": "neutral",
+    "sweep_cycles": "lower",
+    "resweep_cycles": "lower",
+    "ranged_seals": "neutral",
+    "cbo_range_issued": "lower",
+    "cbo_range_lines": "neutral",
+    "cbo_range_skipped": "neutral",
 }
 
 
@@ -149,19 +147,8 @@ class RegressReport:
 
 
 def _fields_for(row: Mapping[str, object]) -> Sequence[str]:
-    if "series" in row:
-        return MICRO_VALUE_FIELDS
-    if "txn_size" in row:  # TxnRow (before ServeRow/SharedStoreRow:
-        # all three carry ack_p50)
-        return TXN_VALUE_FIELDS
-    if "offered_load" in row:  # ServeRow (before SharedStoreRow: both
-        # carry ack_p50)
-        return SERVE_VALUE_FIELDS
-    if "ack_p50" in row:
-        return SHARED_STORE_VALUE_FIELDS
-    if "group_commit" in row:
-        return STORE_VALUE_FIELDS
-    return THROUGHPUT_VALUE_FIELDS
+    """Compared fields for a row, dispatched on its explicit figure tag."""
+    return KIND_VALUE_FIELDS[row_kind(row)]
 
 
 def _classify(name: str, rel_delta: float) -> str:

@@ -10,16 +10,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.bench import (
-    FIGURES,
-    MICRO_FIGURES,
-    SERVE_FIGURES,
-    SHARED_STORE_FIGURES,
-    STORE_FIGURES,
-    TXN_FIGURES,
-)
+from repro.bench import FIGURE_KINDS, FIGURES
 from repro.bench.format import human_size
 from repro.bench.micro import MicroRow
+from repro.bench.range import RangeRow
 from repro.bench.serve import ServeRow
 from repro.bench.shared import SharedStoreRow
 from repro.bench.store import StoreRow
@@ -42,6 +36,8 @@ _FIGURE_TITLES = {
     "(repro.serve)",
     20: "transactions: fences per committed txn vs write-set size "
     "(repro.store.txn)",
+    21: "CBO.RANGE: loop-of-CBOs vs one ranged flush, micro + store "
+    "workloads (repro.bench.range)",
 }
 
 
@@ -237,6 +233,42 @@ def _render_txn(rows: List[TxnRow]) -> str:
     return table
 
 
+def _render_range(rows: List[RangeRow]) -> str:
+    return _markdown_table(
+        [
+            "series",
+            "mode",
+            "optimizer",
+            "size",
+            "sweep cyc",
+            "resweep cyc",
+            "Mops/s",
+            "fences",
+            "flush reqs",
+            "cbo",
+            "cbo.range",
+            "fences/kop",
+        ],
+        [
+            (
+                r.series,
+                r.mode,
+                r.optimizer or "-",
+                human_size(r.size_bytes) if r.size_bytes else "-",
+                r.sweep_cycles,
+                r.resweep_cycles,
+                r.throughput_mops,
+                r.fences,
+                r.flush_requests,
+                r.cbo_issued,
+                r.cbo_range_issued,
+                r.fences_per_kop,
+            )
+            for r in rows
+        ],
+    )
+
+
 def _render_throughput(rows: List[ThroughputRow]) -> str:
     return _markdown_table(
         ["structure", "policy", "optimizer", "upd%", "Mops/s", "cbo issued", "cbo skipped"],
@@ -321,31 +353,22 @@ def build_report(
         rows = runs[fig].rows
         title = _FIGURE_TITLES.get(fig, "")
         sections.append(f"\n## Figure {fig} — {title}\n")
-        if fig in MICRO_FIGURES:
-            sections.append(_render_micro(rows))
-        elif fig in STORE_FIGURES:
-            sections.append(_render_store(rows))
-            summary = _render_metrics_summary(rows)
-            if summary:
-                sections.append(summary)
-        elif fig in SHARED_STORE_FIGURES:
-            sections.append(_render_shared(rows))
-            summary = _render_metrics_summary(rows)
-            if summary:
-                sections.append(summary)
-        elif fig in SERVE_FIGURES:
-            sections.append(_render_serve(rows))
-            summary = _render_metrics_summary(rows)
-            if summary:
-                sections.append(summary)
-        elif fig in TXN_FIGURES:
-            sections.append(_render_txn(rows))
-            summary = _render_metrics_summary(rows)
-            if summary:
-                sections.append(summary)
-        else:
-            sections.append(_render_throughput(rows))
+        kind = FIGURE_KINDS[fig]
+        sections.append(_RENDERERS[kind](rows))
+        if kind != "micro":
             summary = _render_metrics_summary(rows)
             if summary:
                 sections.append(summary)
     return "\n".join(sections) + "\n"
+
+
+#: row-kind tag -> renderer (same explicit-tag dispatch as the CLI)
+_RENDERERS = {
+    "micro": _render_micro,
+    "throughput": _render_throughput,
+    "store": _render_store,
+    "shared": _render_shared,
+    "serve": _render_serve,
+    "txn": _render_txn,
+    "range": _render_range,
+}

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.micro import sweep_axes as micro_axes
+from repro.bench.range import sweep_axes as range_axes
 from repro.bench.serve import sweep_axes as serve_axes
 from repro.bench.shared import sweep_axes as shared_store_axes
 from repro.bench.store import sweep_axes as store_axes
@@ -221,6 +222,27 @@ def decompose(figure: int, quick: bool = False) -> List[BenchPoint]:
                     optimizers=(optimizer,),
                     txn_sizes=(txn_size,),
                 )
+    elif figure == 21:
+        axes = range_axes(21, quick)
+        for mode in axes["modes"]:
+            for size in axes["region_sizes"]:
+                add(
+                    f"micro,{mode},size={size}",
+                    modes=(mode,),
+                    region_sizes=(size,),
+                    series=(),
+                )
+        for kind in axes["series"]:
+            for optimizer in axes["optimizers"]:
+                for mode in axes["modes"]:
+                    add(
+                        f"{kind},{optimizer},{mode}",
+                        seeded=True,
+                        modes=(mode,),
+                        region_sizes=(),
+                        series=(kind,),
+                        optimizers=(optimizer,),
+                    )
     else:
         raise KeyError(f"unknown figure {figure}")
     return points

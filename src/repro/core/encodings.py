@@ -7,9 +7,15 @@ machine words:
 
 * CBO.* : ``| imm12 | rs1 | funct3=010 | rd=00000 | opcode=0001111 |``
   with imm12 selecting the operation (0=inval, 1=clean, 2=flush, 4=zero);
+* CBO.RANGE.* : ``| funct7 | rs2 | rs1 | funct3=010 | rd=00000 |
+  opcode=0001111 |`` — an R-type SIMF-style ranged sweep over
+  ``[rs1, rs1 + rs2)`` with funct7 selecting the operation
+  (0b0100000=inval, 0b0100001=clean, 0b0100010=flush).  The funct7
+  values sit above every ratified imm12 selector, so plain and ranged
+  words decode unambiguously;
 * FENCE : ``| fm | pred | succ | rs1 | funct3=000 | rd | opcode=0001111 |``.
 
-Both share the MISC-MEM major opcode (0b0001111).
+All share the MISC-MEM major opcode (0b0001111).
 """
 
 from __future__ import annotations
@@ -32,6 +38,14 @@ class CboOp(enum.IntEnum):
     ZERO = 4
 
 
+class CboRangeOp(enum.IntEnum):
+    """funct7 selector values of the ranged CMO extension (SIMF-style)."""
+
+    INVAL = 0b0100000
+    CLEAN = 0b0100001
+    FLUSH = 0b0100010
+
+
 @dataclass(frozen=True)
 class CboInstruction:
     """A decoded CBO.* instruction."""
@@ -44,6 +58,28 @@ class CboInstruction:
             raise ValueError("rs1 must name one of x0..x31")
         return (
             (int(self.op) << 20)
+            | (self.rs1 << 15)
+            | (CBO_FUNCT3 << 12)
+            | (0 << 7)  # rd = x0
+            | MISC_MEM_OPCODE
+        )
+
+
+@dataclass(frozen=True)
+class CboRangeInstruction:
+    """A decoded CBO.RANGE.* instruction: sweep ``[rs1, rs1 + rs2)``."""
+
+    op: CboRangeOp
+    rs1: int  # base-address register
+    rs2: int  # byte-length register
+
+    def encode(self) -> int:
+        for reg in (self.rs1, self.rs2):
+            if not 0 <= reg < 32:
+                raise ValueError("registers must name one of x0..x31")
+        return (
+            (int(self.op) << 25)
+            | (self.rs2 << 20)
             | (self.rs1 << 15)
             | (CBO_FUNCT3 << 12)
             | (0 << 7)  # rd = x0
@@ -83,6 +119,11 @@ def encode_cbo(op: CboOp, rs1: int) -> int:
     return CboInstruction(op, rs1).encode()
 
 
+def encode_cbo_range(op: CboRangeOp, rs1: int, rs2: int) -> int:
+    """32-bit machine word for ``cbo.range.<op> 0(rs1), rs2``."""
+    return CboRangeInstruction(op, rs1, rs2).encode()
+
+
 def encode_fence(pred: int = 0b0011, succ: int = 0b0011) -> int:
     """32-bit machine word for ``fence pred, succ``."""
     return FenceInstruction(pred, succ).encode()
@@ -99,6 +140,15 @@ def decode(word: int):
     funct3 = (word >> 12) & 0x7
     if funct3 == CBO_FUNCT3:
         selector = (word >> 20) & 0xFFF
+        funct7 = selector >> 5
+        try:
+            range_op = CboRangeOp(funct7)
+        except ValueError:
+            range_op = None
+        if range_op is not None:
+            return CboRangeInstruction(
+                op=range_op, rs1=(word >> 15) & 0x1F, rs2=selector & 0x1F
+            )
         try:
             op = CboOp(selector)
         except ValueError:
@@ -118,6 +168,11 @@ def disassemble(word: int) -> Optional[str]:
     decoded = decode(word)
     if decoded is None:
         return None
+    if isinstance(decoded, CboRangeInstruction):
+        return (
+            f"cbo.range.{decoded.op.name.lower()} "
+            f"0(x{decoded.rs1}), x{decoded.rs2}"
+        )
     if isinstance(decoded, CboInstruction):
         return f"cbo.{decoded.op.name.lower()} 0(x{decoded.rs1})"
     sets = "iorw"

@@ -14,7 +14,7 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Tuple
 
 from repro.tilelink.permissions import Cap, Perm
 
@@ -46,6 +46,14 @@ class FlushRequest:
     perm: Perm = Perm.NONE  # permission at enqueue, kept current by probes
     flush_id: int = field(default_factory=lambda: next(_flush_ids), compare=False)
 
+    #: every line the entry owns in the queue's ``_line_count``; empty
+    #: means "just ``address``" (per-line entries pay no tuple)
+    covered: Tuple[int, ...] = ()
+
+    # class attribute, not a field: ranged subclass flips it so the
+    # queue and FSHRs can branch without isinstance checks
+    is_range = False
+
     @property
     def is_clean(self) -> bool:
         return self.kind is CboKind.CLEAN
@@ -70,6 +78,32 @@ class FlushRequest:
     def apply_eviction(self) -> None:
         """Reflect the line's eviction from L1 (writeback unit, §5.4.2)."""
         self.apply_downgrade(Cap.toN)
+
+
+@dataclass
+class RangedFlushRequest(FlushRequest):
+    """One buffered CBO.RANGE.* sweeping ``lines`` lines from ``base``.
+
+    Unlike per-line entries, a ranged entry samples *no* metadata at
+    enqueue time: the sweeping FSHR looks each line up when the cursor
+    reaches it, so probes and evictions landing on unreached lines need
+    no queue downgrade — the sweep always sees fresh state ("the range
+    yields to probes on lines it hasn't reached").  While the entry
+    executes, ``address`` and the hit/dirty/way/perm fields track the
+    line currently under the cursor; lines behind the cursor are done.
+    """
+
+    base: int = 0  # first covered line address
+    lines: int = 1  # number of covered lines
+    cursor: int = 0  # covered lines fully processed so far
+
+    is_range = True
+
+    def apply_downgrade(self, cap: Cap) -> None:
+        """No-op: metadata is sampled at the cursor, never at enqueue."""
+
+    def apply_eviction(self) -> None:
+        """No-op: metadata is sampled at the cursor, never at enqueue."""
 
 
 class FlushQueue:
@@ -101,16 +135,18 @@ class FlushQueue:
             raise RuntimeError("push into full flush queue")
         self._entries.append(request)
         counts = self._line_count
-        counts[request.address] = counts.get(request.address, 0) + 1
+        for line in request.covered or (request.address,):
+            counts[line] = counts.get(line, 0) + 1
 
     def pop(self) -> FlushRequest:
         request = self._entries.popleft()
         counts = self._line_count
-        remaining = counts[request.address] - 1
-        if remaining:
-            counts[request.address] = remaining
-        else:
-            del counts[request.address]
+        for line in request.covered or (request.address,):
+            remaining = counts[line] - 1
+            if remaining:
+                counts[line] = remaining
+            else:
+                del counts[line]
         return request
 
     def peek(self) -> FlushRequest:
@@ -124,7 +160,11 @@ class FlushQueue:
     def entries_for(self, address: int) -> List[FlushRequest]:
         if address not in self._line_count:
             return []
-        return [e for e in self._entries if e.address == address]
+        return [
+            e
+            for e in self._entries
+            if e.address == address or address in e.covered
+        ]
 
     def has_line(self, address: int) -> bool:
         return address in self._line_count
@@ -135,7 +175,7 @@ class FlushQueue:
             return 0
         touched = 0
         for entry in self._entries:
-            if entry.address == address:
+            if entry.address == address or address in entry.covered:
                 entry.apply_downgrade(cap)
                 touched += 1
         return touched
@@ -146,7 +186,7 @@ class FlushQueue:
             return 0
         touched = 0
         for entry in self._entries:
-            if entry.address == address:
+            if entry.address == address or address in entry.covered:
                 entry.apply_eviction()
                 touched += 1
         return touched

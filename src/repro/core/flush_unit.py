@@ -23,12 +23,17 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.core.flush_queue import CboKind, FlushQueue, FlushRequest
+from repro.core.flush_queue import (
+    CboKind,
+    FlushQueue,
+    FlushRequest,
+    RangedFlushRequest,
+)
 from repro.core.fshr import RELEASE_PARAM, Fshr, FshrState, release_shrink
 from repro.sim.config import SoCParams
 from repro.sim.stats import StatCounter
 from repro.tilelink.messages import root_release
-from repro.tilelink.permissions import Cap
+from repro.tilelink.permissions import Cap, Perm
 
 if TYPE_CHECKING:  # avoid a circular import with repro.uarch
     from repro.uarch.arrays import MetaEntry
@@ -84,12 +89,26 @@ class FlushUnit:
 
     @property
     def flush_rdy(self) -> bool:
-        """Low while any FSHR may still mutate line state (§5.4.1)."""
+        """Low while any FSHR may still mutate line state (§5.4.1).
+
+        ``range_scan`` and ``range_release_ack`` are exempt like the
+        per-line ack state: a scanning range FSHR has not touched the
+        cursor line yet (it samples metadata fresh next cycle), so
+        probes, evictions and demand-miss evictions proceed against any
+        line the sweep has not reached — the in-flight range yields.
+        """
         invalid = FshrState.INVALID
         ack = FshrState.ROOT_RELEASE_ACK
+        scan = FshrState.RANGE_SCAN
+        range_ack = FshrState.RANGE_RELEASE_ACK
         for fshr in self.fshrs:
             state = fshr.state
-            if state is not invalid and state is not ack:
+            if (
+                state is not invalid
+                and state is not ack
+                and state is not scan
+                and state is not range_ack
+            ):
                 return False
         return True
 
@@ -225,6 +244,62 @@ class FlushUnit:
             )
         return OfferResult.ACCEPTED
 
+    def offer_range(
+        self, base_line: int, last_line: int, kind: CboKind
+    ) -> OfferResult:
+        """Handle a CBO.RANGE.* fired from the LSU: one entry, many lines.
+
+        The whole range enters the flush queue as a *single* entry and
+        holds a *single* flush-counter token — a younger fence treats
+        the sweep as one ordering unit and commits once the final line's
+        ack (or skip) lands.  No metadata is sampled here: the sweeping
+        FSHR samples each line when its cursor arrives, so Skip It is
+        consulted per line inside the sweep rather than at enqueue.
+        """
+        line_bytes = self.params.line_bytes
+        lines = (last_line - base_line) // line_bytes + 1
+        covered = tuple(base_line + i * line_bytes for i in range(lines))
+        # §5.3 dependence rule, applied across the whole range: any
+        # covered line with its own pending CBO.X nacks the ranged op
+        # (enqueueing now would race the pending request's state change).
+        for line in covered:
+            if self.pending_for(line):
+                self.stats.inc("range_nacked_dependent")
+                if self.obs is not None:
+                    self._obs_instant("range_nacked_dependent", line, kind)
+                return OfferResult.NACK
+        if self.queue.full:
+            self.stats.inc("range_nacked_full")
+            if self.obs is not None:
+                self._obs_instant("range_nacked_full", base_line, kind)
+            return OfferResult.NACK
+        request = RangedFlushRequest(
+            address=base_line,
+            kind=kind,
+            is_hit=False,
+            is_dirty=False,
+            base=base_line,
+            lines=lines,
+            covered=covered,
+        )
+        self.queue.push(request)
+        self.flush_counter += 1
+        self.stats.inc("range_enqueued")
+        self.stats.inc("range_lines", lines)
+        if self.obs is not None:
+            self.obs.open_span(
+                self.l1.engine.cycle,
+                f"cbo:{request.flush_id}",
+                "cbo",
+                name=f"cbo.range.{kind.value}",
+                track=self._track,
+                state="queued",
+                address=base_line,
+                kind=kind.value,
+                lines=lines,
+            )
+        return OfferResult.ACCEPTED
+
     def _cross_coalesce(self, pending: FlushRequest, kind: CboKind) -> bool:
         """Cross-kind coalescing, the future-work optimization of §5.3.
 
@@ -235,6 +310,10 @@ class FlushUnit:
         across kinds: its discard semantics differ.
         """
         if not self.params.flush_unit.coalesce_cross_kind:
+            return False
+        if pending.is_range:
+            # upgrading a ranged entry in place would upgrade every
+            # covered line, not just this one; never merge across kinds
             return False
         if CboKind.INVAL in (pending.kind, kind):
             return False
@@ -305,12 +384,13 @@ class FlushUnit:
         """
         invalid = FshrState.INVALID
         ack = FshrState.ROOT_RELEASE_ACK
+        range_ack = FshrState.RANGE_RELEASE_ACK
         has_free = False
         for fshr in self.fshrs:
             state = fshr.state
             if state is invalid:
                 has_free = True
-            elif state is not ack:
+            elif state is not ack and state is not range_ack:
                 return cycle + 1
         if (
             has_free
@@ -340,8 +420,13 @@ class FlushUnit:
             if self.params.flush_unit.wide_data_array
             else self.params.line_bytes // 8
         )
-        fshr.accept(request, fill_cycles)
-        self._fshr_by_line[request.address] = fshr
+        if request.is_range:
+            # the sweep claims lines one at a time: _fshr_by_line maps
+            # only the line under the cursor, from plan to ack
+            fshr.accept_range(request, fill_cycles)
+        else:
+            fshr.accept(request, fill_cycles)
+            self._fshr_by_line[request.address] = fshr
         self.stats.inc("fshr_allocated")
         if self.obs is not None:
             self.obs.transition(
@@ -361,30 +446,105 @@ class FlushUnit:
     def _step_fshrs(self, cycle: int) -> None:
         invalid = FshrState.INVALID
         ack = FshrState.ROOT_RELEASE_ACK
+        range_ack = FshrState.RANGE_RELEASE_ACK
         for fshr in self.fshrs:
             state = fshr.state
-            if state is invalid or state is ack:
+            if state is invalid or state is ack or state is range_ack:
                 continue
             request = fshr.request
             assert request is not None
             prev_state = fshr.state
-            if fshr.state is FshrState.META_WRITE:
+            if state is FshrState.RANGE_SCAN:
+                if not self._range_scan(fshr, request, cycle):
+                    continue  # stalled this cycle: no action, no progress
+            elif state is FshrState.META_WRITE or state is FshrState.RANGE_META_WRITE:
                 self._apply_meta_write(request)
                 fshr.after_meta_write()
-            elif fshr.state is FshrState.FILL_BUFFER:
+            elif state is FshrState.FILL_BUFFER or state is FshrState.RANGE_FILL_BUFFER:
                 line = self.l1.data.read_line(
                     self.l1.geometry.set_index(request.address), request.way
                 )
                 fshr.fill_step(line)
-            elif fshr.state is FshrState.ROOT_RELEASE_DATA:
+            elif state is FshrState.ROOT_RELEASE_DATA or state is FshrState.RANGE_RELEASE_DATA:
                 self._send_release(fshr, request, with_data=True, cycle=cycle)
-            elif fshr.state is FshrState.ROOT_RELEASE:
+            elif state is FshrState.ROOT_RELEASE or state is FshrState.RANGE_RELEASE:
                 self._send_release(fshr, request, with_data=False, cycle=cycle)
-            if self.obs is not None and fshr.state is not prev_state:
+            if (
+                self.obs is not None
+                and fshr.state is not prev_state
+                and fshr.state is not invalid
+            ):
                 self.obs.transition(
                     cycle, f"cbo:{request.flush_id}", fshr.state.value
                 )
             self.l1.engine.note_progress()
+
+    def _range_scan(self, fshr: Fshr, request: FlushRequest, cycle: int) -> bool:
+        """Advance a ranged sweep by one line (one line per cycle).
+
+        Samples the cursor line's metadata fresh — nothing was recorded
+        at enqueue — and either filters it (Skip It: a persisted line
+        costs this lookup and nothing else), defers it (a line with its
+        own pending CBO.X is already covered by that entry's
+        flush-counter token), or plans the per-line release pipeline.
+        Returns False when the sweep is stalled this cycle: a probe or
+        eviction is in flight, or the cursor line has an in-flight
+        demand fill (``flush_rdy`` stays high in ``range_scan``, so the
+        fill's own eviction cannot deadlock against this stall).
+        """
+        if not self.l1.probe_unit.probe_rdy or not self.l1.wbu.wb_rdy:
+            return False  # yield to the probe/eviction, re-sample after
+        line = request.base + request.cursor * self.params.line_bytes
+        if line in self.l1._mshr_by_line:
+            return False  # wait for the demand fill to land
+        request.address = line
+        if self.pending_for(line):
+            request.is_hit = False
+            request.is_dirty = False
+            request.way = -1
+            request.perm = Perm.NONE
+            self.stats.inc("range_line_deferred")
+            if self.obs is not None:
+                self._obs_instant("range_line_deferred", line, request.kind)
+            self._range_advance(fshr, request, cycle)
+            return True
+        hit = self.l1.meta.lookup(line)
+        if hit is not None:
+            way, entry = hit
+            request.is_hit = True
+            request.is_dirty = entry.dirty
+            request.way = way
+            request.perm = entry.perm
+            if (
+                request.kind is not CboKind.INVAL
+                and self.params.skip_it
+                and not entry.dirty
+                and entry.skip
+            ):
+                # Skip It inside the sweep (§6.1)
+                self.stats.inc("range_line_skipped")
+                if self.obs is not None:
+                    self._obs_instant("range_line_skipped", line, request.kind)
+                self._range_advance(fshr, request, cycle)
+                return True
+        else:
+            request.is_hit = False
+            request.is_dirty = False
+            request.way = -1
+            request.perm = Perm.NONE
+        fshr.plan_range_line()
+        self._fshr_by_line[line] = fshr
+        self.stats.inc("range_line_planned")
+        return True
+
+    def _range_advance(self, fshr: Fshr, request: FlushRequest, cycle: int) -> None:
+        """One covered line is done; move the cursor or finish the sweep."""
+        if fshr.advance_cursor():
+            self.flush_counter -= 1
+            self.stats.inc("range_completed")
+            if self.obs is not None:
+                self.obs.close_span(cycle, f"cbo:{request.flush_id}")
+            fshr.complete_range()
 
     def _apply_meta_write(self, request: FlushRequest) -> None:
         """Invalidate (flush/inval) or clean (clear dirty) the metadata."""
@@ -424,13 +584,30 @@ class FlushUnit:
                 f"RootReleaseAck for {address:#x} with no waiting FSHR"
             )
         del self._fshr_by_line[address]
+        cycle = self.l1.engine.cycle
+        if fshr.state is FshrState.RANGE_RELEASE_ACK:
+            # one swept line is durable; the range itself completes (and
+            # releases its single flush-counter token) only with the
+            # final line — lines behind the cursor are done
+            request = fshr.request
+            assert request is not None
+            self.stats.inc("range_line_acks")
+            if request.kind is CboKind.CLEAN:
+                self._maybe_set_skip(request)
+            self._range_advance(fshr, request, cycle)
+            if self.obs is not None and fshr.busy:
+                self.obs.transition(
+                    cycle, f"cbo:{request.flush_id}", fshr.state.value
+                )
+            self.l1.engine.note_progress()
+            return
         request = fshr.complete()
         self.flush_counter -= 1
         self.stats.inc("acks")
         if request.kind is CboKind.CLEAN:
             self._maybe_set_skip(request)
         if self.obs is not None:
-            self.obs.close_span(self.l1.engine.cycle, f"cbo:{request.flush_id}")
+            self.obs.close_span(cycle, f"cbo:{request.flush_id}")
         self.l1.engine.note_progress()
 
     def _maybe_set_skip(self, request: FlushRequest) -> None:

@@ -38,6 +38,17 @@ class FshrState(enum.Enum):
     ROOT_RELEASE_DATA = "root_release_data"
     ROOT_RELEASE = "root_release"
     ROOT_RELEASE_ACK = "root_release_ack"
+    # CBO.RANGE sweep: a range-capable FSHR iterates the covered lines
+    # with a cursor, re-planning the per-line pipeline at every line.
+    # ``range_scan`` looks the cursor line up (Skip It filters here: a
+    # persisted line costs the lookup and nothing else); the remaining
+    # states mirror the per-line pipeline for the line under the cursor.
+    RANGE_SCAN = "range_scan"
+    RANGE_META_WRITE = "range_meta_write"
+    RANGE_FILL_BUFFER = "range_fill_buffer"
+    RANGE_RELEASE_DATA = "range_release_data"
+    RANGE_RELEASE = "range_release"
+    RANGE_RELEASE_ACK = "range_release_ack"
 
 
 def release_shrink(request: FlushRequest) -> Shrink:
@@ -69,6 +80,7 @@ class Fshr:
         self.request: Optional[FlushRequest] = None
         self.buffer: Optional[bytes] = None
         self._fill_cycles_left = 0
+        self._fill_cycles = 0  # per-line fill cost, reset at every cursor step
 
     # ------------------------------------------------------------- queries
     @property
@@ -89,7 +101,10 @@ class Fshr:
 
     @property
     def awaiting_ack(self) -> bool:
-        return self.state is FshrState.ROOT_RELEASE_ACK
+        return (
+            self.state is FshrState.ROOT_RELEASE_ACK
+            or self.state is FshrState.RANGE_RELEASE_ACK
+        )
 
     @property
     def holds_line_exclusive(self) -> bool:
@@ -122,29 +137,98 @@ class Fshr:
     def after_meta_write(self) -> None:
         if self.request is None:  # pragma: no cover - defensive
             raise RuntimeError("FSHR has no request")
+        ranged = self.state is FshrState.RANGE_META_WRITE
         if self.request.kind is CboKind.INVAL:
-            self.state = FshrState.ROOT_RELEASE  # dirty data is discarded
+            # dirty data is discarded
+            self.state = FshrState.RANGE_RELEASE if ranged else FshrState.ROOT_RELEASE
         elif self.request.is_dirty:
-            self.state = FshrState.FILL_BUFFER
+            self.state = (
+                FshrState.RANGE_FILL_BUFFER if ranged else FshrState.FILL_BUFFER
+            )
         else:
-            self.state = FshrState.ROOT_RELEASE
+            self.state = FshrState.RANGE_RELEASE if ranged else FshrState.ROOT_RELEASE
 
     def fill_step(self, line_data: bytes) -> bool:
         """Advance the buffer fill by one cycle; True when complete."""
+        ranged = self.state is FshrState.RANGE_FILL_BUFFER
         self._fill_cycles_left -= 1
         if self._fill_cycles_left <= 0:
             self.buffer = bytes(line_data)
-            self.state = FshrState.ROOT_RELEASE_DATA
+            self.state = (
+                FshrState.RANGE_RELEASE_DATA
+                if ranged
+                else FshrState.ROOT_RELEASE_DATA
+            )
             return True
         return False
 
     def sent_release(self) -> None:
-        self.state = FshrState.ROOT_RELEASE_ACK
+        self.state = (
+            FshrState.RANGE_RELEASE_ACK
+            if self.state
+            in (FshrState.RANGE_RELEASE, FshrState.RANGE_RELEASE_DATA)
+            else FshrState.ROOT_RELEASE_ACK
+        )
 
     def complete(self) -> FlushRequest:
         """Consume the RootReleaseAck; free the FSHR and return its request."""
         if self.state is not FshrState.ROOT_RELEASE_ACK:
             raise RuntimeError(f"ack in state {self.state}")
+        request = self.request
+        assert request is not None
+        self.state = FshrState.INVALID
+        self.request = None
+        self.buffer = None
+        return request
+
+    # ---------------------------------------------------- CBO.RANGE sweeps
+    def accept_range(self, request: FlushRequest, fill_cycles: int) -> None:
+        """Begin a ranged sweep; the cursor starts at the first line."""
+        if self.busy:
+            raise RuntimeError("accept into busy FSHR")
+        if not request.is_range:  # pragma: no cover - defensive
+            raise ValueError("accept_range needs a RangedFlushRequest")
+        self.request = request
+        self.buffer = None
+        self._fill_cycles = fill_cycles
+        self.state = FshrState.RANGE_SCAN
+
+    def plan_range_line(self) -> None:
+        """Choose the per-line plan for the line under the cursor.
+
+        Mirrors :meth:`accept` with the metadata the scan just sampled,
+        landing in the ``range_*`` twin states so observability and FSM
+        coverage can tell sweep work from per-line work.
+        """
+        request = self.request
+        assert request is not None
+        self.buffer = None
+        self._fill_cycles_left = self._fill_cycles
+        if request.kind is CboKind.INVAL:
+            self.state = (
+                FshrState.RANGE_META_WRITE
+                if request.is_hit
+                else FshrState.RANGE_RELEASE
+            )
+        elif request.is_hit and request.is_dirty:
+            self.state = FshrState.RANGE_META_WRITE
+        elif request.is_hit and request.kind is CboKind.FLUSH:
+            self.state = FshrState.RANGE_META_WRITE
+        else:
+            self.state = FshrState.RANGE_RELEASE
+
+    def advance_cursor(self) -> bool:
+        """One covered line is done; True when the whole range is swept."""
+        request = self.request
+        assert request is not None and request.is_range
+        request.cursor += 1
+        if request.cursor >= request.lines:
+            return True
+        self.state = FshrState.RANGE_SCAN
+        return False
+
+    def complete_range(self) -> FlushRequest:
+        """Free the FSHR after the final covered line; return its request."""
         request = self.request
         assert request is not None
         self.state = FshrState.INVALID

@@ -70,6 +70,17 @@ class PMemView:
         self.flush_requests += 1
         self.optimizer.clean(self.ctx, address)
 
+    def clean_range(self, address: int, length: int) -> None:
+        """Request one ranged writeback (CBO.RANGE.CLEAN) over a byte span.
+
+        A single instruction — and a single flush request — no matter how
+        many lines the span covers; the hardware sweeps them with the
+        in-sweep Skip It filter.  Software filters may still carve the
+        span into contiguous sub-ranges of not-provably-persisted lines.
+        """
+        self.flush_requests += 1
+        self.optimizer.clean_range(self.ctx, address, length)
+
     # ----------------------------------------------------- operation frame
     def op_begin(self) -> None:
         self._did_update = False

@@ -61,6 +61,34 @@ class FlushOptimizer:
         """
         ctx.clean(address)
 
+    def clean_range(self, ctx: ThreadCtx, address: int, length: int) -> None:
+        """Ranged non-invalidating writeback (CBO.RANGE.CLEAN).
+
+        One instruction covers every line of ``[address, address+length)``.
+        The base class hands the whole span to the hardware, which filters
+        per line inside the sweep (with Skip It a persisted line costs a
+        lookup, not a writeback).  Software filters override this to carve
+        the span into contiguous sub-ranges of the lines their bookkeeping
+        cannot prove persisted — the range encoding does not exempt them
+        from their own bookkeeping traffic.
+        """
+        ctx.clean_range(address, length)
+
+    def _clean_line_runs(self, ctx: ThreadCtx, lines) -> None:
+        """Issue one ranged clean per contiguous run of line addresses."""
+        line_bytes = ctx.system.params.line_bytes
+        run_start = run_end = None
+        for line in sorted(lines):
+            if run_start is None:
+                run_start = run_end = line
+            elif line == run_end + line_bytes:
+                run_end = line
+            else:
+                ctx.clean_range(run_start, run_end - run_start + line_bytes)
+                run_start = run_end = line
+        if run_start is not None:
+            ctx.clean_range(run_start, run_end - run_start + line_bytes)
+
     def declare_persisted(self, system) -> None:
         """Reset bookkeeping after ``TimingSystem.persist_all`` (setup aid).
 
@@ -133,6 +161,22 @@ class FlitAdjacent(FlushOptimizer):
             ctx.clean(address)
             ctx.store(counter, 0)
 
+    def clean_range(self, ctx: ThreadCtx, address: int, length: int) -> None:
+        # Per-field counters: a line needs the sweep iff any of its data
+        # words' counters are set.  Loading each counter is real cache
+        # traffic — the range encoding saves CBOs, not FliT bookkeeping.
+        line_bytes = ctx.system.params.line_bytes
+        lines = set()
+        cleared = []
+        for counter in sorted(self._counters):
+            data = counter - 8
+            if address <= data < address + length and ctx.load(counter):
+                lines.add(data - data % line_bytes)
+                cleared.append(counter)
+        self._clean_line_runs(ctx, lines)
+        for counter in cleared:
+            ctx.store(counter, 0)
+
 
 class FlitHashTable(FlushOptimizer):
     """FliT with counters in a shared fixed-size table.
@@ -187,6 +231,24 @@ class FlitHashTable(FlushOptimizer):
             ctx.clean(address)
             ctx.store(counter, 0)
 
+    def clean_range(self, ctx: ThreadCtx, address: int, length: int) -> None:
+        # The table hashes per line, so the ranged filter is one counter
+        # load per covered line; collisions stay conservative (a stranger
+        # line sharing the slot forces this line into the sweep).
+        line_bytes = ctx.system.params.line_bytes
+        base = address - address % line_bytes
+        last = (address + length - 1) - (address + length - 1) % line_bytes
+        lines = []
+        cleared = []
+        for line in range(base, last + line_bytes, line_bytes):
+            counter = self._counter_of(line)
+            if ctx.load(counter):
+                lines.append(line)
+                cleared.append(counter)
+        self._clean_line_runs(ctx, lines)
+        for counter in cleared:
+            ctx.store(counter, 0)
+
     def describe(self) -> str:
         return f"{self.name}({self.table_entries})"
 
@@ -234,6 +296,25 @@ class LinkAndPersist(FlushOptimizer):
         if raw & _LNP_BIT:
             ctx.clean(address)
             ctx.cas(address, raw, raw & ~_LNP_BIT)
+
+    def clean_range(self, ctx: ThreadCtx, address: int, length: int) -> None:
+        # The mark lives in the data word, so the ranged filter is a
+        # register scan of the span's words (one mask test per line) and
+        # a CAS per marked word to drop the mark afterwards.  The CAS
+        # re-dirties the line — same trade the per-address path makes.
+        line_bytes = ctx.system.params.line_bytes
+        nlines = ((address + length - 1) // line_bytes) - (address // line_bytes) + 1
+        ctx.now += nlines
+        marked = [
+            (word, raw)
+            for word, raw in ctx.system.arch.items()
+            if address <= word < address + length and raw & _LNP_BIT
+        ]
+        self._clean_line_runs(
+            ctx, {word - word % line_bytes for word, _ in marked}
+        )
+        for word, raw in marked:
+            ctx.cas(word, raw, raw & ~_LNP_BIT)
 
     def declare_persisted(self, system) -> None:
         for store in (system.arch, system.persisted):

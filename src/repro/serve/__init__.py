@@ -12,7 +12,7 @@ memtable otherwise.
 
 :class:`~repro.serve.tier.ServeTier` is the front door; figure 19
 (:mod:`repro.bench.serve`) sweeps it to its saturation knee and
-verify stage 6 (:mod:`repro.verify.serve`) crash-checks the session
+verify stage 7 (:mod:`repro.verify.serve`) crash-checks the session
 guarantees.
 """
 

@@ -20,7 +20,7 @@ travel backwards in the session's own timeline.  The tier enforces that
 gate (falling back to the memtable — in virtual time, "blocking until
 covered" and "serving from the always-fresh memtable" are the same
 guarantee, the latter at a bounded cost); the seeded
-``stale_snapshot_read`` mutant disables the gate and verify stage 6
+``stale_snapshot_read`` mutant disables the gate and verify stage 7
 must catch it.
 
 :class:`SnapshotReader` walks superblock → descriptor → bucket chain

@@ -107,6 +107,25 @@ def read_map(
     return items
 
 
+def clean_address_runs(view: PMemView, addresses, line_bytes: int) -> None:
+    """Ranged-clean the lines covering *addresses*, one CBO.RANGE per
+    contiguous line run (the snapshot allocator hands out mostly
+    adjacent nodes, so a whole checkpoint map collapses into a few
+    sweeps)."""
+    lines = sorted({a - a % line_bytes for a in addresses})
+    run_start = run_end = None
+    for line in lines:
+        if run_start is None:
+            run_start = run_end = line
+        elif line == run_end + line_bytes:
+            run_end = line
+        else:
+            view.clean_range(run_start, run_end - run_start + line_bytes)
+            run_start = run_end = line
+    if run_start is not None:
+        view.clean_range(run_start, run_end - run_start + line_bytes)
+
+
 class CheckpointManager:
     """Drives snapshot + flip; owns the descriptor allocation."""
 
@@ -118,11 +137,15 @@ class CheckpointManager:
         store = self.store
         view: PMemView = store.view
         started = view.ctx.now
+        ranged = getattr(store, "ranged_seal", False)
 
         snapshot = CheckpointMap(store.heap, store.layout)
         written = snapshot.write_items(view, store.memtable)
-        for address in written:
-            view.clean(address)
+        if ranged:
+            clean_address_runs(view, written, store.layout.line_bytes)
+        else:
+            for address in written:
+                view.clean(address)
         store.probe_point("checkpoint_map_flushed")
 
         watermark = store.acked_lsn
@@ -143,17 +166,31 @@ class CheckpointManager:
         )
         for field, value in fields:
             view.write(descriptor.field(field), value)
-        for field, _ in fields:
-            view.clean(descriptor.field(field))
-        view.ctx.fence()
-        store.stats.inc("store_fences")
+        if ranged:
+            # one sweep over the descriptor's contiguous fields, then a
+            # completion wait in place of the fence: snapshot and
+            # descriptor writebacks must land before the flip is written
+            view.clean_range(
+                descriptor.field(0),
+                DESCRIPTOR_FIELDS * store.layout.field_stride,
+            )
+            view.ctx.await_writebacks()
+            store.stats.inc("store_ranged_publishes")
+        else:
+            for field, _ in fields:
+                view.clean(descriptor.field(field))
+            view.ctx.fence()
+            store.stats.inc("store_fences")
         store.probe_point("checkpoint_descriptor_durable")
 
         view.write(store.layout.superblock, descriptor.base)
         view.clean(store.layout.superblock)
         store.probe_point("checkpoint_flipped")
-        view.ctx.fence()
-        store.stats.inc("store_fences")
+        if ranged:
+            view.ctx.await_writebacks()
+        else:
+            view.ctx.fence()
+            store.stats.inc("store_fences")
 
         store.watermark = watermark
         store.stats.inc("store_checkpoints")

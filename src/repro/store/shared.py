@@ -228,11 +228,18 @@ class EpochSealer:
         if tracer is not None:
             tracer.seal_marker(epoch, marker_lsn, view.ctx.now)
 
-        for ticket in batch:
-            # a transaction ticket covers its whole contiguous run
-            for lsn in ticket_lsns(ticket):
-                store.wal.clean_record(view, lsn)
-        store.wal.clean_record(view, marker_lsn)
+        if store.ranged_seal:
+            # one CBO.RANGE sweep over every thread's records at once
+            # (two on a log wrap) — the leader's sweep pulls dirty lines
+            # out of the other threads' L1s just like its cleans would
+            first_lsn = min(min(ticket_lsns(t)) for t in batch)
+            store.wal.clean_span(view, first_lsn, marker_lsn)
+        else:
+            for ticket in batch:
+                # a transaction ticket covers its whole contiguous run
+                for lsn in ticket_lsns(ticket):
+                    store.wal.clean_record(view, lsn)
+            store.wal.clean_record(view, marker_lsn)
         if tracer is not None:
             tracer.seal_cleaned(epoch, view.ctx.now)
 
@@ -246,12 +253,19 @@ class EpochSealer:
             )
 
         store.probe_point("epoch_flushed")
-        view.ctx.fence()
-        store.stats.inc("store_fences")
+        if store.ranged_seal:
+            # the range is one ordering token: wait for its sweep's
+            # writebacks instead of issuing a FENCE (see GroupCommitter)
+            waited_from = view.ctx.now
+            view.ctx.await_writebacks()
+            store.stats.inc("store_ranged_seals")
+            waited = view.ctx.now - waited_from
+        else:
+            view.ctx.fence()
+            store.stats.inc("store_fences")
+            waited = getattr(view.ctx, "last_fence_waited", 0)
         if tracer is not None:
-            tracer.seal_fenced(
-                epoch, view.ctx.now, getattr(view.ctx, "last_fence_waited", 0)
-            )
+            tracer.seal_fenced(epoch, view.ctx.now, waited)
 
         self._acknowledge(batch, marker_lsn, view, epoch)
         store.stats.inc("store_commits")
@@ -345,6 +359,7 @@ class SharedLogStore:
         num_buckets: int = 64,
         layout: Optional[StoreLayout] = None,
         probe: Optional[Callable[[str], None]] = None,
+        ranged_seal: bool = False,
     ) -> None:
         if not views:
             raise ValueError("shared store needs at least one thread view")
@@ -378,6 +393,9 @@ class SharedLogStore:
         #: thread's view for the duration of a checkpoint
         self.view = self.views[0]
         self.layout = layout
+        #: policy knob: seal epochs (and publish checkpoints) with
+        #: CBO.RANGE sweeps instead of per-line clean loops + fences
+        self.ranged_seal = ranged_seal
         # transient coordination words, one line each: the CAS-bumped
         # tail and the leader claim (recovery never reads either)
         tail_addr = heap.alloc_region(heap.line_bytes)

@@ -64,6 +64,7 @@ class DurableStore:
         num_buckets: int = 64,
         layout: Optional[StoreLayout] = None,
         probe: Optional[Callable[[str], None]] = None,
+        ranged_seal: bool = False,
     ) -> None:
         stride = view.optimizer.field_stride
         if layout is None:
@@ -93,6 +94,9 @@ class DurableStore:
         self.heap = heap
         self.view = view
         self.layout = layout
+        #: policy knob: seal epochs (and publish checkpoints) with
+        #: CBO.RANGE sweeps instead of per-line clean loops + fences
+        self.ranged_seal = ranged_seal
         self.wal = WriteAheadLog(layout)
         self.committer = GroupCommitter(self, batch_size, cycle_budget)
         self.checkpointer = CheckpointManager(self)

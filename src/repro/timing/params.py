@@ -44,6 +44,8 @@ class TimingParams:
     # the pipeline to the metadata check, about an L1 hit's worth (§7.4)
     cbo_l2_roundtrip: int = 45  # clean line: L1->L2->ack, no DRAM write
     cbo_dram_writeback: int = 100  # dirty data travels to DRAM
+    cbo_range_line: int = 4  # CBO.RANGE sweep pitch: the range FSHR hands
+    # one line per pitch to the memory controller (no per-line issue)
     fence_base: int = 12  # fence cost when nothing is outstanding
     num_fshrs: int = 8  # writebacks overlapping per thread
 

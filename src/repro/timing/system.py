@@ -103,6 +103,15 @@ class ThreadCtx:
     def flush(self, address: int) -> None:
         self.system.cbo(self, address, invalidate=True)
 
+    def clean_range(self, address: int, length: int, wait: bool = False) -> None:
+        self.system.cbo_range(self, address, length, invalidate=False, wait=wait)
+
+    def flush_range(self, address: int, length: int, wait: bool = False) -> None:
+        self.system.cbo_range(self, address, length, invalidate=True, wait=wait)
+
+    def await_writebacks(self) -> None:
+        self.system.await_writebacks(self)
+
     def fence(self) -> None:
         self.system.fence(self)
 
@@ -436,6 +445,24 @@ class TimingSystem:
                 address=line,
                 invalidate=invalidate,
             )
+        latency, payload = self._cbo_line(ctx, line, l1rec, invalidate)
+        completion = self._issue_async(ctx, latency)
+        self._record_or_adopt(ctx, line, payload, completion)
+
+    def _cbo_line(
+        self,
+        ctx: ThreadCtx,
+        line: int,
+        l1rec: Optional[L1Rec],
+        invalidate: bool,
+    ) -> "tuple[int, Optional[Dict[int, int]]]":
+        """Per-line writeback decision shared by cbo() and cbo_range().
+
+        Applies the metadata effects (dirty bits cleared, invalidations,
+        skip bit set after a clean) and returns the writeback latency
+        plus the words this line carries to DRAM (``None`` when the
+        hierarchy holds nothing dirty).
+        """
         rec = self.l2.get(line)
         latency = self.params.cbo_l2_roundtrip
         # a deeper hierarchy lengthens every writeback's path (§7.4):
@@ -500,7 +527,15 @@ class TimingSystem:
         elif l1rec is not None:
             # after a clean the resident line is persisted (§6.2)
             l1rec.skip = self.params.skip_it
-        completion = self._issue_async(ctx, latency)
+        return latency, payload
+
+    def _record_or_adopt(
+        self,
+        ctx: ThreadCtx,
+        line: int,
+        payload: Optional[Dict[int, int]],
+        completion: int,
+    ) -> None:
         if payload:
             self._record_wb(ctx, line, payload, done=completion)
         else:
@@ -520,6 +555,121 @@ class TimingSystem:
                         tid=ctx.tid, done=completion, line=line, values=merged
                     )
                 )
+
+    def cbo_range(
+        self,
+        ctx: ThreadCtx,
+        address: int,
+        length: int,
+        invalidate: bool = False,
+        wait: bool = False,
+    ) -> None:
+        """CBO.RANGE.{CLEAN,FLUSH}: one charged multi-line sweep (SIMF-style).
+
+        One instruction, one flush-queue entry, one ordering token: the
+        issue cost is charged once, then a single range-capable FSHR
+        sweeps ``[address, address + length)`` line by line.  Skip It is
+        consulted per line *inside* the sweep — a filtered line costs a
+        lookup (``cbo_skip``), not a writeback.  Each unfiltered line's
+        payload travels as its own :class:`InFlightWriteback` with a
+        staggered completion time, so a crash mid-sweep exposes every
+        cursor position as a distinct window.
+
+        With ``wait=True`` the op adopts SIMF completion semantics: the
+        thread settles to the sweep's final line before continuing, so
+        the whole range is one ordering token and no separate FENCE is
+        needed — the caller's next instruction is ordered after every
+        covered line is durable.
+        """
+        if length <= 0:
+            raise ValueError("ranged CBO requires a positive byte length")
+        line_bytes = self.params.line_bytes
+        base = self.line_of(address)
+        last = self.line_of(address + length - 1)
+        nlines = (last - base) // line_bytes + 1
+        ctx.now += self.params.cbo_issue
+        self.stats.inc("cbo_range_issued")
+        self.stats.inc("cbo_range_lines", nlines)
+        if self.obs is not None:
+            self.obs.emit(
+                ctx.now,
+                "timing",
+                "cbo_range_issued",
+                track=f"t{ctx.tid}",
+                address=base,
+                lines=nlines,
+                invalidate=invalidate,
+            )
+        # the sweep occupies one FSHR: same admission rule as one CBO.X
+        start = ctx.now
+        if len(ctx.outstanding) >= self.params.num_fshrs:
+            start = max(start, ctx.outstanding.popleft())
+        # seeded mutant: the range reports done with every line at or
+        # past the mid-sweep cursor unswept — their dirty data never
+        # reaches DRAM (lost writes the crash sweep must catch)
+        sweep_lines = nlines
+        if "range_skips_unreached_lines" in self.mutants:
+            sweep_lines = max(1, nlines // 2)
+        cursor = start
+        horizon = start
+        l1 = self.l1s[ctx.tid]
+        skipped = 0
+        for index in range(sweep_lines):
+            line = base + index * line_bytes
+            l1rec = l1.get(line)
+            if (
+                self.params.skip_it
+                and l1rec is not None
+                and not l1rec.dirty
+                and l1rec.skip
+            ):
+                # filtered inside the sweep: a lookup, not a writeback
+                cursor += self.params.cbo_skip
+                skipped += 1
+                continue
+            latency, payload = self._cbo_line(ctx, line, l1rec, invalidate)
+            # the FSHR hands the line to the memory controller and
+            # advances at sweep pitch; the write lands asynchronously
+            # (same handoff the per-line CBO path gets from its flush
+            # unit), so completions stagger by cursor position
+            cursor += self.params.cbo_range_line
+            done = cursor + latency
+            horizon = max(horizon, done)
+            self._record_or_adopt(ctx, line, payload, done)
+        if skipped:
+            self.stats.inc("cbo_range_line_skipped", skipped)
+        if self.obs is not None:
+            self.obs.emit(
+                cursor,
+                "timing",
+                "cbo_range_done",
+                track=f"t{ctx.tid}",
+                address=base,
+                lines=nlines,
+                skipped=skipped,
+            )
+        # the whole sweep is one ordering token that a younger fence (or
+        # an explicit SIMF completion wait) retires; it covers the last
+        # line's landing, not just the scan's end
+        ctx.outstanding.append(max(cursor, horizon))
+        if wait:
+            self.await_writebacks(ctx)
+
+    def await_writebacks(self, ctx: ThreadCtx) -> None:
+        """SIMF-style completion wait: retire *ctx*'s tokens, no FENCE.
+
+        A CBO.RANGE is its own ordering token — waiting on its
+        completion orders the caller's next instruction after every
+        covered line is durable without issuing (or counting) a fence
+        instruction.  The thread's clock advances to its last
+        outstanding completion and those writebacks settle.
+        """
+        if ctx.outstanding:
+            horizon = max(ctx.outstanding)
+            ctx.now = max(ctx.now, horizon)
+            ctx.outstanding.clear()
+        self._settle_thread(ctx.tid)
+        self.stats.inc("cbo_range_waits")
 
     def _persist_l2(self, line: int, rec: L2Rec) -> Dict[int, int]:
         """Snapshot the L2 copy for DRAM and clear its dirty bit (§4)."""

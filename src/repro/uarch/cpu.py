@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.config import SoCParams
 from repro.sim.engine import Engine
@@ -41,6 +41,7 @@ class Instr:
     op: MemOp
     address: int = 0
     data: Optional[int] = None
+    length: int = 0  # byte length of a CBO.RANGE sweep
 
     @staticmethod
     def load(address: int) -> "Instr":
@@ -67,6 +68,18 @@ class Instr:
         return Instr(MemOp.CBO_ZERO, address)
 
     @staticmethod
+    def clean_range(address: int, length: int) -> "Instr":
+        return Instr(MemOp.CBO_RANGE_CLEAN, address, length=length)
+
+    @staticmethod
+    def flush_range(address: int, length: int) -> "Instr":
+        return Instr(MemOp.CBO_RANGE_FLUSH, address, length=length)
+
+    @staticmethod
+    def inval_range(address: int, length: int) -> "Instr":
+        return Instr(MemOp.CBO_RANGE_INVAL, address, length=length)
+
+    @staticmethod
     def fence() -> "Instr":
         return Instr(MemOp.FENCE)
 
@@ -82,6 +95,7 @@ class _Slot:
     instr: Instr
     op: MemOp  # == instr.op, denormalized for the per-cycle window walks
     line: int = -1  # line address of instr.address (valid for memory ops)
+    lines: Optional[Tuple[int, ...]] = None  # covered lines of a CBO.RANGE
     status: _Status = _Status.WAITING
     retry_at: int = 0
     done_at: Optional[int] = None  # for fixed-latency completions
@@ -127,9 +141,16 @@ class Core:
     def run_program(self, program: List[Instr]) -> None:
         """Load a fresh program; the engine then executes it."""
         line_of = self._line_of
-        self.slots = [
-            _Slot(instr, instr.op, line_of(instr.address)) for instr in program
-        ]
+        line_bytes = self.params.l1.line_bytes
+        self.slots = []
+        for instr in program:
+            slot = _Slot(instr, instr.op, line_of(instr.address))
+            if instr.op.is_cbo_range:
+                # younger loads must order against every covered line,
+                # not just the base line
+                last = line_of(instr.address + instr.length - 1)
+                slot.lines = tuple(range(slot.line, last + 1, line_bytes))
+            self.slots.append(slot)
         self.head = 0
         self.finish_cycle = None
         self._by_req.clear()
@@ -224,7 +245,9 @@ class Core:
                     older_fence = True
                 elif op.is_stq:
                     if older_stq_lines is None:
-                        older_stq_lines = {slot.line}
+                        older_stq_lines = set()
+                    if slot.lines is not None:
+                        older_stq_lines.update(slot.lines)
                     else:
                         older_stq_lines.add(slot.line)
         self._commit(cycle)
@@ -310,7 +333,9 @@ class Core:
                     # the line set only gates younger *loads*; past the
                     # program's last load nothing ever consults it
                     if older_stq_lines is None:
-                        older_stq_lines = {slot.line}
+                        older_stq_lines = set()
+                    if slot.lines is not None:
+                        older_stq_lines.update(slot.lines)
                     else:
                         older_stq_lines.add(slot.line)
         return best
@@ -333,7 +358,14 @@ class Core:
                 if o.op is MemOp.FENCE:
                     return False
                 if o.op.is_stq:
-                    if self.params.l1.line_address(o.address) == line:
+                    if o.op.is_cbo_range:
+                        base = self.params.l1.line_address(o.address)
+                        last = self.params.l1.line_address(
+                            o.address + o.length - 1
+                        )
+                        if base <= line <= last:
+                            return False
+                    elif self.params.l1.line_address(o.address) == line:
                         return False
             return True
         # STQ requests (stores, CBO.X) fire at the ROB head, in order
@@ -380,7 +412,12 @@ class Core:
 
     def _fire(self, slot: _Slot, cycle: int) -> None:
         instr = slot.instr
-        request = MemRequest(op=instr.op, address=instr.address, data=instr.data)
+        request = MemRequest(
+            op=instr.op,
+            address=instr.address,
+            data=instr.data,
+            length=instr.length,
+        )
         if self.obs is not None:
             # ambient cause: spans opened while the L1 handles this fire
             # (flush-queue entries, MSHRs) record which request caused them

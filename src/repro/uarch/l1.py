@@ -125,6 +125,8 @@ class L1DataCache:
         raise ValueError(f"L1 cannot serve {request.op}")
 
     def _fire_cbo(self, request: MemRequest, line: int) -> FireOutcome:
+        if request.op.is_cbo_range:
+            return self._fire_cbo_range(request, line)
         # A CBO.X racing this core's own in-flight fill of the line would
         # sample metadata that the grant is about to change (and could
         # miss stores buffered in the MSHR's RPQ); nack conservatively.
@@ -141,6 +143,36 @@ class L1DataCache:
         if result is OfferResult.NACK:
             return FireOutcome(FireStatus.NACK)
         self.stats.inc(f"cbo_{result.value}")
+        return FireOutcome(FireStatus.OK_NOW)
+
+    def _fire_cbo_range(self, request: MemRequest, base_line: int) -> FireOutcome:
+        """Fire a CBO.RANGE.*: one flush-queue entry for the whole sweep.
+
+        The range covers every line of ``[address, address + length)``.
+        The per-line MSHR race rule applies across the range at fire
+        time; once the sweep runs, new fills on unreached lines stall
+        the cursor instead (the flush unit's ``range_scan`` waits).
+        """
+        last_line = self.geometry.line_address(
+            request.address + request.length - 1
+        )
+        if self._mshr_by_line:
+            line_bytes = self.geometry.line_bytes
+            line = base_line
+            while line <= last_line:
+                if line in self._mshr_by_line:
+                    self.stats.inc("cbo_nack_mshr")
+                    return FireOutcome(FireStatus.NACK)
+                line += line_bytes
+        kind = {
+            MemOp.CBO_RANGE_CLEAN: CboKind.CLEAN,
+            MemOp.CBO_RANGE_FLUSH: CboKind.FLUSH,
+            MemOp.CBO_RANGE_INVAL: CboKind.INVAL,
+        }[request.op]
+        result = self.flush_unit.offer_range(base_line, last_line, kind)
+        if result is OfferResult.NACK:
+            return FireOutcome(FireStatus.NACK)
+        self.stats.inc(f"cbo_range_{result.value}")
         return FireOutcome(FireStatus.OK_NOW)
 
     def _fire_load(self, request: MemRequest, line: int) -> FireOutcome:

@@ -27,6 +27,11 @@ class MemOp(enum.Enum):
     CBO_FLUSH = "cbo.flush"
     CBO_INVAL = "cbo.inval"  # CMO extension: invalidate, discard dirty data
     CBO_ZERO = "cbo.zero"  # CMO extension: zero a whole line
+    # SIMF-style ranged CBOs: one flush-queue entry sweeping
+    # [base, base + length) line by line, Skip It consulted per line
+    CBO_RANGE_CLEAN = "cbo.range.clean"
+    CBO_RANGE_FLUSH = "cbo.range.flush"
+    CBO_RANGE_INVAL = "cbo.range.inval"
     FENCE = "fence"
 
 
@@ -35,8 +40,17 @@ class MemOp(enum.Enum):
 # and a plain attribute load is several times cheaper than a descriptor
 # call.
 for _op in MemOp:
+    #: ranged CBOs: one queue entry, many lines (routed like CBOs)
+    _op.is_cbo_range = _op in (
+        MemOp.CBO_RANGE_CLEAN,
+        MemOp.CBO_RANGE_FLUSH,
+        MemOp.CBO_RANGE_INVAL,
+    )
     #: ops routed to the flush unit (cbo.zero is a store-like op)
-    _op.is_cbo = _op in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.CBO_INVAL)
+    _op.is_cbo = (
+        _op in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.CBO_INVAL)
+        or _op.is_cbo_range
+    )
     #: STQ-resident ops: stores, CBO.X and fences (§3.2, §5.1)
     _op.is_stq = _op is not MemOp.LOAD
 del _op
@@ -49,6 +63,7 @@ class MemRequest:
     op: MemOp
     address: int  # byte address, word-aligned for LOAD/STORE
     data: Optional[int] = None  # 64-bit store payload
+    length: int = 0  # byte length of a CBO.RANGE sweep ([address, address+length))
     req_id: int = field(default_factory=lambda: next(_req_ids), compare=False)
 
     def __post_init__(self) -> None:
@@ -56,6 +71,8 @@ class MemRequest:
             raise ValueError(f"unaligned word access at {self.address:#x}")
         if self.op is MemOp.STORE and self.data is None:
             raise ValueError("store requires data")
+        if self.op.is_cbo_range and self.length <= 0:
+            raise ValueError("ranged CBO requires a positive byte length")
 
 
 class RespKind(enum.Enum):

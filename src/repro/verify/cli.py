@@ -1,6 +1,6 @@
 """``python -m repro.verify`` — the verification harness entry point.
 
-``--smoke`` (the default, also the CI gate) runs seven stages:
+``--smoke`` (the default, also the CI gate) runs eight stages:
 
 1. **Timing crash-point matrix** — {clean, flush} x dirty-in-{own L1,
    other L1, L2, victim L3} x Skip It on/off through
@@ -27,13 +27,18 @@
    interleaving appends into one shared WAL, epochs sealed by a leader
    whose single fence must cover every thread's records; crashes at
    every seal boundary and writeback-completion window.
-6. **Serve session sweep** — the serving tier's contracts over
+6. **Ranged seal crash sweep** — the store sweep again with
+   ``ranged_seal`` on (:func:`~repro.verify.store.run_ranged_store_sweep`):
+   epochs sealed by one ``CBO.RANGE.CLEAN`` over the log span plus a
+   completion wait; the mid-range crash windows enumerate every cursor
+   position of the sweep, every optimizer x group-commit {1, 8, 64}.
+7. **Serve session sweep** — the serving tier's contracts over
    :class:`~repro.verify.serve.ServeCrashSweep`: sessions driving a
    :class:`~repro.serve.tier.ServeTier` (admission control engaged,
    snapshot reads exercised), checking journal-prefix durability at
    every crash point plus read-your-writes, per-session monotonic
    reads, and that shed requests are never journaled or recovered.
-7. **Transaction sweep** — multi-key atomicity over
+8. **Transaction sweep** — multi-key atomicity over
    :class:`~repro.verify.txn.SharedTxnCrashSweep`: mixed plain and
    transactional traffic on the 3-thread shared log, every optimizer x
    group-commit {1, 8, 64}; the :class:`~repro.verify.txn.TxnOracle`
@@ -66,7 +71,11 @@ from repro.verify.injector import (
     TimingCrashInjector,
 )
 from repro.verify.serve import run_serve_sweep
-from repro.verify.store import run_shared_store_sweep, run_store_sweep
+from repro.verify.store import (
+    run_ranged_store_sweep,
+    run_shared_store_sweep,
+    run_store_sweep,
+)
 from repro.verify.txn import run_txn_sweep
 
 MATRIX_ADDR = 0x10000
@@ -195,6 +204,33 @@ def _soc_cases(skip_it: bool) -> List[Tuple[str, List[List[Instr]]]]:
                     Instr.clean(b_line),
                     Instr.fence(),
                 ]
+            ],
+        )
+    )
+    # CBO.RANGE over a mixed region: two dirty lines (range_meta_write ->
+    # range_fill_buffer -> range_release_data -> range_release_ack), one
+    # clean-resident line (range_release nodata with Skip It off, scan
+    # filter with it on), all walked by range_scan under one flush-queue
+    # entry; the second core's loads probe mid-sweep, and the per-line
+    # redundant clean afterwards keeps both FSM families in one run
+    cases.append(
+        (
+            "ranged_sweep",
+            [
+                [
+                    Instr.store(a_line, 5),
+                    Instr.store(c_line, 6),
+                    Instr.load(b_line),
+                    Instr.clean_range(a_line, 3 * 64),
+                    Instr.fence(),
+                    Instr.store(b_line, 7),
+                    Instr.flush_range(b_line, 2 * 64),
+                    Instr.fence(),
+                ],
+                [
+                    Instr.load(a_line),
+                    Instr.load(b_line),
+                ],
             ],
         )
     )
@@ -327,6 +363,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out.append("== shared-log crash sweep ==")
     for name, report in run_shared_store_sweep():
+        mark = "ok" if report.ok else "FAIL"
+        out.append(
+            f"  {mark} {name:<28} {report.crash_points} crash points "
+            f"over {report.boundaries} boundaries"
+        )
+        failures += len(report.violations)
+        for violation in report.violations[:3]:
+            out.append(f"       {violation}")
+
+    out.append("== ranged seal crash sweep ==")
+    for name, report in run_ranged_store_sweep():
         mark = "ok" if report.ok else "FAIL"
         out.append(
             f"  {mark} {name:<28} {report.crash_points} crash points "

@@ -77,12 +77,16 @@ class ProgramGenerator:
     requires.
     """
 
-    #: op mix: stores dominate so CBOs usually have something to persist
+    #: op mix: stores dominate so CBOs usually have something to persist.
+    #: Ranged ops stay CLEAN/FLUSH only — the timing model has no
+    #: invalidate-without-writeback, so CBO.RANGE.INVAL is Soc-only.
     WEIGHTS = (
         (MemOp.STORE, 8),
         (MemOp.LOAD, 4),
         (MemOp.CBO_CLEAN, 3),
         (MemOp.CBO_FLUSH, 2),
+        (MemOp.CBO_RANGE_CLEAN, 2),
+        (MemOp.CBO_RANGE_FLUSH, 1),
         (MemOp.FENCE, 2),
     )
 
@@ -137,6 +141,19 @@ class ProgramGenerator:
                         body.append(Instr.fence())
                 elif op is MemOp.CBO_FLUSH:
                     body.append(Instr.flush(self.rng.choice(self.lines)))
+                    if self.fenced_cbos:
+                        body.append(Instr.fence())
+                elif op in (MemOp.CBO_RANGE_CLEAN, MemOp.CBO_RANGE_FLUSH):
+                    # the line pool is contiguous: any [start, start+span)
+                    # slice is a valid range operand
+                    start = self.rng.randrange(len(self.lines))
+                    span = self.rng.randint(1, len(self.lines) - start)
+                    ctor = (
+                        Instr.clean_range
+                        if op is MemOp.CBO_RANGE_CLEAN
+                        else Instr.flush_range
+                    )
+                    body.append(ctor(self.lines[start], span * 64))
                     if self.fenced_cbos:
                         body.append(Instr.fence())
                 else:
@@ -195,13 +212,14 @@ class DifferentialFuzzer:
         )
 
     def run_soc(self, programs: Sequence[List[Instr]]):
-        """Returns (image, issued per line, skipped per line, dram writes
-        per line, cycles)."""
+        """Returns (image, issued per line, range issues per base line,
+        skipped per line, dram writes per line, cycles)."""
         from repro.obs.attach import acquire_bus, release_bus
 
         soc = Soc(self._soc_params())
         issued: Dict[int, int] = {}
         skipped: Dict[int, int] = {}
+        range_issued: Dict[int, int] = {}
 
         def on_event(event) -> None:
             if event.category != "cbo":
@@ -210,7 +228,13 @@ class DifferentialFuzzer:
             if address is None:
                 return
             if event.name.endswith(":begin"):
-                issued[address] = issued.get(address, 0) + 1
+                # one span per op: ranged spans are keyed by their base
+                # line and compared against the timing model's
+                # cbo_range_issued events, not the per-line counter
+                if ".range." in event.name:
+                    range_issued[address] = range_issued.get(address, 0) + 1
+                else:
+                    issued[address] = issued.get(address, 0) + 1
             elif event.name == "skipped":
                 skipped[address] = skipped.get(address, 0) + 1
 
@@ -233,11 +257,11 @@ class DifferentialFuzzer:
             soc.memory.write_line = original_write
         words = self._words(programs)
         image = {w: soc.persisted_value(w) for w in words}
-        return image, issued, skipped, dram_writes, cycles
+        return image, issued, range_issued, skipped, dram_writes, cycles
 
     def run_timing(self, programs: Sequence[List[Instr]]):
-        """Returns (image, issued per line, skipped per line, dram writes
-        per line)."""
+        """Returns (image, issued per line, range issues per base line,
+        skipped per line, dram writes per line)."""
         from repro.obs.attach import attach_timing
 
         system = TimingSystem(
@@ -245,11 +269,14 @@ class DifferentialFuzzer:
         )
         issued: Dict[int, int] = {}
         skipped: Dict[int, int] = {}
+        range_issued: Dict[int, int] = {}
 
         def on_event(event) -> None:
             address = event.args.get("address")
             if event.name == "cbo_issued":
                 issued[address] = issued.get(address, 0) + 1
+            elif event.name == "cbo_range_issued":
+                range_issued[address] = range_issued.get(address, 0) + 1
             elif event.name == "cbo_skipped":
                 skipped[address] = skipped.get(address, 0) + 1
 
@@ -266,6 +293,10 @@ class DifferentialFuzzer:
                     ctx.clean(instr.address)
                 elif instr.op is MemOp.CBO_FLUSH:
                     ctx.flush(instr.address)
+                elif instr.op is MemOp.CBO_RANGE_CLEAN:
+                    ctx.clean_range(instr.address, instr.length)
+                elif instr.op is MemOp.CBO_RANGE_FLUSH:
+                    ctx.flush_range(instr.address, instr.length)
                 elif instr.op is MemOp.FENCE:
                     ctx.fence()
                 else:
@@ -275,7 +306,7 @@ class DifferentialFuzzer:
             system.obs = None
         words = self._words(programs)
         image = {w: system.persisted_image().get(w, 0) for w in words}
-        return image, issued, skipped, dict(system.wb_lines)
+        return image, issued, range_issued, skipped, dict(system.wb_lines)
 
     @staticmethod
     def _words(programs: Sequence[List[Instr]]) -> List[int]:
@@ -296,11 +327,18 @@ class DifferentialFuzzer:
     ) -> DiffReport:
         programs = ProgramGenerator.with_epilogue(bodies)
         report = DiffReport(seed=seed, bodies=[list(b) for b in bodies])
-        soc_image, soc_issued, soc_skipped, soc_writes, cycles = self.run_soc(
+        (
+            soc_image,
+            soc_issued,
+            soc_ranges,
+            soc_skipped,
+            soc_writes,
+            cycles,
+        ) = self.run_soc(programs)
+        report.soc_cycles = cycles
+        t_image, t_issued, t_ranges, t_skipped, t_writes = self.run_timing(
             programs
         )
-        report.soc_cycles = cycles
-        t_image, t_issued, t_skipped, t_writes = self.run_timing(programs)
         for word in soc_image:
             if soc_image[word] != t_image[word]:
                 report.mismatches.append(
@@ -311,6 +349,7 @@ class DifferentialFuzzer:
             # decision/count parity is only deterministic single-threaded:
             # with >1 cores the interleavings differ by construction
             self._diff_counts(report, "issued", soc_issued, t_issued)
+            self._diff_counts(report, "range_issued", soc_ranges, t_ranges)
             self._diff_counts(report, "skipped", soc_skipped, t_skipped)
             self._diff_counts(report, "dram_writes", soc_writes, t_writes)
         return report

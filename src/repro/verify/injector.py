@@ -53,8 +53,37 @@ from repro.verify.oracle import (
 #: program ops the oracle can track (value-unique stores, no INVAL/ZERO,
 #: whose discard/zeroing semantics would make version tracking ambiguous)
 TRACKABLE_OPS = frozenset(
-    {MemOp.LOAD, MemOp.STORE, MemOp.CBO_CLEAN, MemOp.CBO_FLUSH, MemOp.FENCE}
+    {
+        MemOp.LOAD,
+        MemOp.STORE,
+        MemOp.CBO_CLEAN,
+        MemOp.CBO_FLUSH,
+        MemOp.CBO_RANGE_CLEAN,
+        MemOp.CBO_RANGE_FLUSH,
+        MemOp.FENCE,
+    }
 )
+
+#: CBO ops that establish a durability floor when they fire
+_FLOOR_OPS = frozenset(
+    {
+        MemOp.CBO_CLEAN,
+        MemOp.CBO_FLUSH,
+        MemOp.CBO_RANGE_CLEAN,
+        MemOp.CBO_RANGE_FLUSH,
+    }
+)
+
+_RANGE_OPS = frozenset({MemOp.CBO_RANGE_CLEAN, MemOp.CBO_RANGE_FLUSH})
+
+
+def _covered_lines(instr: Instr, line_of, line_bytes: int) -> range:
+    """Line base addresses an op covers: one line, or the whole range."""
+    base = line_of(instr.address)
+    if instr.op in _RANGE_OPS:
+        last = line_of(instr.address + instr.length - 1)
+        return range(base, last + 1, line_bytes)
+    return range(base, base + 1, line_bytes)
 
 #: events in these categories mark a cycle as a sampled crash point
 SAMPLED_CATEGORIES = frozenset({"tilelink", "cbo", "core", "probe", "eviction"})
@@ -220,16 +249,20 @@ class SocCrashInjector:
                     # data is in the array (hit) or RPQ (miss) from the
                     # fire cycle on; count it for the ghost ceiling now
                     self._version_count[slot.instr.address] += 1
-                elif (
-                    op in (MemOp.CBO_CLEAN, MemOp.CBO_FLUSH)
-                    and previous is _Status.WAITING
-                ):
-                    line = line_of(slot.instr.address)
-                    floors = {
-                        w: self._version_count[w]
-                        for w in self._line_words.get(line, ())
-                        if self._owner[w] == core_idx
-                    }
+                elif op in _FLOOR_OPS and previous is _Status.WAITING:
+                    # a ranged CBO floors every covered line: the L1
+                    # nacks dependent lines mid-sweep exactly as it
+                    # nacks a per-line CBO, so any same-core store that
+                    # committed before the range fired is in the array
+                    # when the cursor reaches its line
+                    line_bytes = self.soc.params.l1.line_bytes
+                    floors = {}
+                    for line in _covered_lines(
+                        slot.instr, line_of, line_bytes
+                    ):
+                        for w in self._line_words.get(line, ()):
+                            if self._owner[w] == core_idx:
+                                floors[w] = self._version_count[w]
                     self._pending[core_idx].append((idx, floors))
                 elif op is MemOp.FENCE and current is _Status.DONE:
                     keep = []
@@ -337,6 +370,31 @@ class TimingCrashInjector:
                         w: self._version_count[w]
                         for w in self._line_words.get(line, ())
                     }
+                self._pending[tid].append(floors)
+            elif op in _RANGE_OPS:
+                line_bytes = system.params.line_bytes
+                lines = _covered_lines(instr, system.line_of, line_bytes)
+                skipped_before = system.stats.get("cbo_range_line_skipped")
+                if op is MemOp.CBO_RANGE_CLEAN:
+                    ctx.clean_range(instr.address, instr.length)
+                else:
+                    ctx.flush_range(instr.address, instr.length)
+                any_skipped = (
+                    system.stats.get("cbo_range_line_skipped")
+                    > skipped_before
+                )
+                floors = {}
+                for line in lines:
+                    if any_skipped:
+                        # the sweep filtered at least one line and the
+                        # stat cannot attribute which: fall back to the
+                        # skipped-CBO rule for the whole range (durable
+                        # or settled by this thread's fence — which now
+                        # includes the sweep's own in-flight payloads)
+                        floors.update(self._guaranteed_floors(tid, line))
+                    else:
+                        for w in self._line_words.get(line, ()):
+                            floors[w] = self._version_count[w]
                 self._pending[tid].append(floors)
             elif op is MemOp.FENCE:
                 ctx.fence()

@@ -43,6 +43,12 @@ TIMING_MUTANTS: Dict[str, str] = {
         "FENCE commits without waiting for the thread's outstanding "
         "writebacks (§5.3 violation)"
     ),
+    "range_skips_unreached_lines": (
+        "CBO.RANGE reports completion with the lines past its cursor "
+        "never swept — a crash after the op's ordering token retires "
+        "loses every write in the unreached tail.  The ranged store "
+        "sweep injects this via TimingSystem.mutants"
+    ),
 }
 
 
@@ -104,7 +110,7 @@ SHARED_STORE_MUTANTS: Dict[str, str] = {
 }
 
 
-#: serving-tier mutants: seeded bugs the stage-6 session sweep
+#: serving-tier mutants: seeded bugs the stage-7 session sweep
 #: (:class:`repro.verify.serve.ServeCrashSweep`) must turn red on.
 #: Inject by passing ``mutants=(name,)`` to the sweep, flowing into
 #: :attr:`repro.serve.tier.ServeTier.mutants`.
@@ -122,7 +128,7 @@ SERVE_MUTANTS: Dict[str, str] = {
 }
 
 
-#: transaction mutants: seeded bugs the stage-7 txn sweeps
+#: transaction mutants: seeded bugs the stage-8 txn sweeps
 #: (:class:`repro.verify.txn.TxnCrashSweep` /
 #: :class:`repro.verify.txn.SharedTxnCrashSweep`) must turn red on.
 #: ``txn_commit_before_fence`` flows into the store's ``mutants`` set;

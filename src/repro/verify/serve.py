@@ -1,4 +1,4 @@
-"""Serving-tier crash-point sweep: session guarantees, checked (stage 6).
+"""Serving-tier crash-point sweep: session guarantees, checked (stage 7).
 
 The store sweeps (stages 4–5) prove the *durability* contract; the
 serving tier adds *session* contracts on top, and each one is a place
@@ -369,7 +369,7 @@ def run_serve_sweep(
     ops: int = 48,
     seed: int = 0,
 ) -> List[Tuple[str, StoreSweepReport]]:
-    """The optimizer x batch-size served-session sweep (verify stage 6)."""
+    """The optimizer x batch-size served-session sweep (verify stage 7)."""
     results = []
     for optimizer in optimizers:
         for group_commit in group_commits:

@@ -43,6 +43,7 @@ from repro.store.store import DurableStore
 from repro.timing.params import TimingParams
 from repro.timing.system import TimingSystem
 from repro.verify.injector import MAX_VIOLATIONS, timing_crash_image
+from repro.verify.mutants import TIMING_MUTANTS
 from repro.verify.oracle import Violation
 
 #: boundaries where writebacks of a just-sealed unit are still in
@@ -153,7 +154,7 @@ class StoreOracle:
         at: object,
     ) -> List[Violation]:
         """The three contract checks against an already-recovered *state*
-        (split out so wrappers like the stage-6 session oracle can layer
+        (split out so wrappers like the stage-7 session oracle can layer
         further checks on the same recovery)."""
         violations: List[Violation] = []
         if state.applied_lsn < acked_lsn:
@@ -220,6 +221,7 @@ class StoreCrashSweep:
         num_buckets: int = 16,
         key_range: int = 24,
         mutants: Sequence[str] = (),
+        ranged_seal: bool = False,
     ) -> None:
         self.optimizer = optimizer
         self.group_commit = group_commit
@@ -232,11 +234,13 @@ class StoreCrashSweep:
         self.num_buckets = num_buckets
         self.key_range = key_range
         self.mutants = tuple(mutants)
+        self.ranged_seal = ranged_seal
 
     def run(self) -> StoreSweepReport:
-        report = StoreSweepReport(
-            config=f"{self.optimizer}/gc={self.group_commit}"
-        )
+        config = f"{self.optimizer}/gc={self.group_commit}"
+        if self.ranged_seal:
+            config = f"ranged/{config}"
+        report = StoreSweepReport(config=config)
         params = TimingParams(
             num_threads=1, skip_it=(self.optimizer == "skipit")
         )
@@ -254,12 +258,18 @@ class StoreCrashSweep:
             batch_size=self.group_commit,
             checkpoint_every=self.checkpoint_every,
             num_buckets=self.num_buckets,
+            ranged_seal=self.ranged_seal,
         )
         oracle = StoreOracle()
         store.wal.on_append = oracle.observe
         check_lsn = "store_replay_trusts_crc" not in self.mutants
+        # hardware-level mutants (the truncated-sweep bug) live in the
+        # timing model's flag set, not the store's
+        system.mutants.update(m for m in self.mutants if m in TIMING_MUTANTS)
         store.mutants.update(
-            m for m in self.mutants if m != "store_replay_trusts_crc"
+            m
+            for m in self.mutants
+            if m != "store_replay_trusts_crc" and m not in TIMING_MUTANTS
         )
 
         def probe(name: str) -> None:
@@ -327,6 +337,7 @@ class SharedStoreCrashSweep:
         num_buckets: int = 16,
         key_range: int = 24,
         mutants: Sequence[str] = (),
+        ranged_seal: bool = False,
     ) -> None:
         self.optimizer = optimizer
         self.group_commit = group_commit
@@ -340,14 +351,16 @@ class SharedStoreCrashSweep:
         self.num_buckets = num_buckets
         self.key_range = key_range
         self.mutants = tuple(mutants)
+        self.ranged_seal = ranged_seal
 
     def run(self) -> StoreSweepReport:
-        report = StoreSweepReport(
-            config=(
-                f"shared/{self.optimizer}/gc={self.group_commit}"
-                f"/t={self.threads}"
-            )
+        config = (
+            f"shared/{self.optimizer}/gc={self.group_commit}"
+            f"/t={self.threads}"
         )
+        if self.ranged_seal:
+            config = f"ranged/{config}"
+        report = StoreSweepReport(config=config)
         params = TimingParams(
             num_threads=self.threads, skip_it=(self.optimizer == "skipit")
         )
@@ -366,12 +379,16 @@ class SharedStoreCrashSweep:
             batch_size=self.group_commit,
             checkpoint_every=self.checkpoint_every,
             num_buckets=self.num_buckets,
+            ranged_seal=self.ranged_seal,
         )
         oracle = StoreOracle()
         store.wal.on_append = oracle.observe
         check_lsn = "store_replay_trusts_crc" not in self.mutants
+        system.mutants.update(m for m in self.mutants if m in TIMING_MUTANTS)
         store.mutants.update(
-            m for m in self.mutants if m != "store_replay_trusts_crc"
+            m
+            for m in self.mutants
+            if m != "store_replay_trusts_crc" and m not in TIMING_MUTANTS
         )
 
         def probe(name: str) -> None:
@@ -445,6 +462,36 @@ def run_store_sweep(
         for group_commit in group_commits:
             sweep = StoreCrashSweep(
                 optimizer, group_commit, ops=ops, seed=seed
+            )
+            report = sweep.run()
+            results.append((report.config, report))
+    return results
+
+
+def run_ranged_store_sweep(
+    optimizers: Sequence[str] = ("plain", "flit-adjacent", "flit-hashtable", "link-and-persist", "skipit"),
+    group_commits: Sequence[int] = (1, 8, 64),
+    *,
+    ops: int = 48,
+    seed: int = 0,
+) -> List[Tuple[str, StoreSweepReport]]:
+    """The store sweep with CBO.RANGE epoch sealing (verify CLI stage).
+
+    Same contract, same oracle — but epochs are sealed with one ranged
+    clean and a completion wait instead of per-record cleans + a fence,
+    so the ``epoch_flushed`` windows enumerate every mid-range cursor
+    position of the sweep (each covered line's writeback lands at a
+    distinct staggered time).
+    """
+    results = []
+    for optimizer in optimizers:
+        for group_commit in group_commits:
+            sweep = StoreCrashSweep(
+                optimizer,
+                group_commit,
+                ops=ops,
+                seed=seed,
+                ranged_seal=True,
             )
             report = sweep.run()
             results.append((report.config, report))

@@ -401,7 +401,7 @@ def run_txn_sweep(
     ops: int = 36,
     seed: int = 0,
 ) -> List[Tuple[str, StoreSweepReport]]:
-    """The optimizer x batch-size txn sweep (verify CLI stage 7).
+    """The optimizer x batch-size txn sweep (verify CLI stage 8).
 
     Runs on the shared log — the harder configuration: contiguous-run
     reservation under interleaving plus cross-thread sealing.  The

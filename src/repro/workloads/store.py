@@ -48,6 +48,11 @@ class StoreResult:
     checkpoints: int
     mean_batch: float
     flush_requests: int
+    #: CBO.RANGE traffic (nonzero only with ``ranged_seal``)
+    ranged_seals: int = 0
+    cbo_range_issued: int = 0
+    cbo_range_lines: int = 0
+    cbo_range_skipped: int = 0
     #: ``timing.*`` + per-shard ``store.*`` metrics snapshot
     metrics: Dict[str, object] = field(default_factory=dict)
 
@@ -65,6 +70,7 @@ class StoreBenchmark:
         num_buckets: int = 64,
         flit_table_entries: int = 1024,
         skip_it: Optional[bool] = None,
+        ranged_seal: bool = False,
         seed: int = 12345,
     ) -> None:
         self.optimizer_name = optimizer
@@ -77,6 +83,7 @@ class StoreBenchmark:
         # as in the structure benchmarks: the skip bit exists only when
         # benchmarking the skipit filter
         self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.ranged_seal = ranged_seal
         self.seed = seed
 
     def run(self, duration: int = 200_000) -> StoreResult:
@@ -94,6 +101,7 @@ class StoreBenchmark:
                 log_capacity=self.log_capacity,
                 batch_size=self.group_commit,
                 num_buckets=self.num_buckets,
+                ranged_seal=self.ranged_seal,
             )
             for ctx in system.threads[: self.threads]
         ]
@@ -149,6 +157,10 @@ class StoreBenchmark:
             checkpoints=total("store_checkpoints"),
             mean_batch=(sum(batches) / len(batches)) if batches else 0.0,
             flush_requests=sum(s.view.flush_requests for s in stores),
+            ranged_seals=total("store_ranged_seals"),
+            cbo_range_issued=stats.get("cbo_range_issued", 0),
+            cbo_range_lines=stats.get("cbo_range_lines", 0),
+            cbo_range_skipped=stats.get("cbo_range_line_skipped", 0),
             metrics=snapshot,
         )
 
@@ -198,6 +210,11 @@ class SharedStoreResult:
     #: acks whose raw submit→durable delta was negative (cross-thread
     #: virtual-clock skew) and entered the histograms clamped to zero
     ack_clamped: int = 0
+    #: CBO.RANGE traffic (nonzero only with ``ranged_seal``)
+    ranged_seals: int = 0
+    cbo_range_issued: int = 0
+    cbo_range_lines: int = 0
+    cbo_range_skipped: int = 0
     #: ``timing.*`` + ``store.shared.*`` metrics snapshot
     metrics: Dict[str, object] = field(default_factory=dict)
 
@@ -222,6 +239,7 @@ class SharedStoreBenchmark:
         num_buckets: int = 64,
         flit_table_entries: int = 1024,
         skip_it: Optional[bool] = None,
+        ranged_seal: bool = False,
         seed: int = 12345,
     ) -> None:
         self.optimizer_name = optimizer
@@ -232,6 +250,7 @@ class SharedStoreBenchmark:
         self.num_buckets = num_buckets
         self.flit_table_entries = flit_table_entries
         self.skip_it = skip_it if skip_it is not None else optimizer == "skipit"
+        self.ranged_seal = ranged_seal
         self.seed = seed
 
     def run(self, duration: int = 200_000, tracer=None) -> SharedStoreResult:
@@ -252,6 +271,7 @@ class SharedStoreBenchmark:
             log_capacity=self.log_capacity,
             batch_size=self.group_commit,
             num_buckets=self.num_buckets,
+            ranged_seal=self.ranged_seal,
         )
 
         # Prefill to ~50% occupancy on thread 0 and checkpoint: same
@@ -309,6 +329,10 @@ class SharedStoreBenchmark:
             mean_batch=(sum(batches) / len(batches)) if batches else 0.0,
             flush_requests=sum(v.flush_requests for v in store.views),
             ack_clamped=store.stats.get("store_ack_latency_clamped"),
+            ranged_seals=store.stats.get("store_ranged_seals"),
+            cbo_range_issued=stats.get("cbo_range_issued", 0),
+            cbo_range_lines=stats.get("cbo_range_lines", 0),
+            cbo_range_skipped=stats.get("cbo_range_line_skipped", 0),
             metrics=snapshot,
         )
 

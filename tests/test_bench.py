@@ -28,7 +28,9 @@ class TestFormat:
 
 class TestFigureRegistry:
     def test_all_figures_present(self):
-        assert sorted(FIGURES) == [9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20]
+        assert sorted(FIGURES) == [
+            9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21,
+        ]
 
 
 class TestMicroRunners:

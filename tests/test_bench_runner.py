@@ -7,6 +7,7 @@ import pytest
 from repro.bench import (
     FIGURES,
     MICRO_FIGURES,
+    RANGE_FIGURES,
     SERVE_FIGURES,
     SHARED_STORE_FIGURES,
     STORE_FIGURES,
@@ -198,6 +199,7 @@ class TestCliDispatch:
             | SHARED_STORE_FIGURES
             | SERVE_FIGURES
             | TXN_FIGURES
+            | RANGE_FIGURES
         ) == set(FIGURES)
         assert not MICRO_FIGURES & THROUGHPUT_FIGURES
         assert not STORE_FIGURES & (MICRO_FIGURES | THROUGHPUT_FIGURES)
@@ -216,6 +218,14 @@ class TestCliDispatch:
             | STORE_FIGURES
             | SHARED_STORE_FIGURES
             | SERVE_FIGURES
+        )
+        assert not RANGE_FIGURES & (
+            MICRO_FIGURES
+            | THROUGHPUT_FIGURES
+            | STORE_FIGURES
+            | SHARED_STORE_FIGURES
+            | SERVE_FIGURES
+            | TXN_FIGURES
         )
 
     def test_empty_micro_figure_prints_micro_header(self, monkeypatch, capsys):

@@ -10,6 +10,7 @@ from repro.uarch.soc import Soc
 from repro.verify import cli
 from repro.verify.coverage import (
     FSHR_STATES,
+    RANGE_STATES,
     TILELINK_OPS,
     DEFAULT_FLOOR,
     FsmCoverage,
@@ -70,10 +71,16 @@ class TestFsmCoverage:
         assert merged.fshr_states == a.fshr_states
 
     def test_floor_gating(self):
+        """The floor gates the combined per-line + range universe."""
         coverage = FsmCoverage(floor=0.5)
         for state in list(FSHR_STATES)[:3]:
             coverage.fshr_states[state] = 1
         assert coverage.fshr_coverage() == 0.5
+        assert coverage.range_coverage() == 0.0
+        assert not coverage.meets_floor()  # 3 of 12 combined states
+        for state in list(RANGE_STATES)[:3]:
+            coverage.fshr_states[state] = 1
+        assert coverage.total_coverage() == 0.5
         assert coverage.meets_floor()
         assert not coverage.meets_floor(0.9)
 

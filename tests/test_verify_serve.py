@@ -1,4 +1,4 @@
-"""Tests for :mod:`repro.verify.serve` — the stage-6 session oracle."""
+"""Tests for :mod:`repro.verify.serve` — the stage-7 session oracle."""
 
 from types import SimpleNamespace
 
